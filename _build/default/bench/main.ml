@@ -1,0 +1,184 @@
+(* The benchmark binary: regenerates every reproduced experiment table
+   (E1-E10, see DESIGN.md section 5 and EXPERIMENTS.md) and then runs
+   bechamel micro-benchmarks of the core data structures.
+
+   Run with: dune exec bench/main.exe
+   Pass --quick for reduced transaction counts, --micro-only / --exp-only to
+   select one half. *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
+let exp_only = Array.exists (( = ) "--exp-only") Sys.argv
+
+(* ----------------------------------------------------------- experiments *)
+
+let run_experiments () =
+  print_endline "=== Paper reproduction: one table per experiment ===";
+  print_endline
+    (if quick then "(quick mode: reduced transaction counts)\n" else "");
+  List.iter
+    (fun o ->
+      print_endline (Ccdb_harness.Experiments.render o);
+      print_newline ())
+    (Ccdb_harness.Experiments.all ~quick ())
+
+(* ------------------------------------------------------ micro-benchmarks *)
+
+let bench_precedence_compare =
+  let a = Ccdb_model.Precedence.timestamped ~ts:42 ~site:1 ~txn:7 in
+  let b = Ccdb_model.Precedence.queue_local ~ts:42 ~arrival:3 in
+  Bechamel.Test.make ~name:"precedence.compare"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Ccdb_model.Precedence.compare a b)))
+
+let bench_semi_lock_cycle =
+  (* one full request -> grant -> release cycle on a unified queue with a
+     resident population of eight transactions *)
+  Bechamel.Test.make ~name:"semi_lock_queue.cycle"
+    (Bechamel.Staged.stage
+       (let counter = ref 0 in
+        let q = Core.Semi_lock_queue.create () in
+        for i = 1 to 8 do
+          ignore
+            (Core.Semi_lock_queue.request q ~txn:(1_000_000 + i) ~site:0
+               ~protocol:Ccdb_model.Protocol.Pa ~ts:(Some i) ~interval:5
+               ~epoch:0 ~op:Ccdb_model.Op.Read)
+        done;
+        ignore (Core.Semi_lock_queue.grant_ready q ~now:0.);
+        fun () ->
+          incr counter;
+          let txn = !counter in
+          ignore
+            (Core.Semi_lock_queue.request q ~txn ~site:0
+               ~protocol:Ccdb_model.Protocol.T_o
+               ~ts:(Some (100 + !counter)) ~interval:5 ~epoch:0
+               ~op:Ccdb_model.Op.Read);
+          ignore (Core.Semi_lock_queue.grant_ready q ~now:1.);
+          ignore (Core.Semi_lock_queue.release q ~txn)))
+
+let bench_lock_table_cycle =
+  Bechamel.Test.make ~name:"lock_table.cycle"
+    (Bechamel.Staged.stage
+       (let counter = ref 0 in
+        let t = Ccdb_protocols.Lock_table.create () in
+        fun () ->
+          incr counter;
+          let txn = !counter in
+          ignore
+            (Ccdb_protocols.Lock_table.request t ~txn ~attempt:0
+               ~op:Ccdb_model.Op.Write);
+          ignore (Ccdb_protocols.Lock_table.grant_ready t);
+          ignore (Ccdb_protocols.Lock_table.release t ~txn ~attempt:0)))
+
+let bench_stl_eval =
+  let params =
+    { Ccdb_stl.Stl_model.lambda_a = 1.0; lambda_r = 0.04; lambda_w = 0.04;
+      q_r = 0.5; k = 3. }
+  in
+  Bechamel.Test.make ~name:"stl'.evaluate"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Ccdb_stl.Stl_model.stl' params ~lambda_loss:0.3 ~u:40.)))
+
+let bench_conflict_check =
+  (* serializability check over a 100-transaction, 32-copy execution *)
+  let logs =
+    let rng = Ccdb_util.Rng.create ~seed:3 in
+    List.init 32 (fun copy ->
+        ( (copy, 0),
+          List.init 24 (fun j ->
+              { Ccdb_storage.Store.txn = 1 + Ccdb_util.Rng.int rng 100;
+                kind =
+                  (if Ccdb_util.Rng.bool rng then Ccdb_model.Op.Read
+                   else Ccdb_model.Op.Write);
+                at = float_of_int j }) ))
+  in
+  Bechamel.Test.make ~name:"conflict_graph.check"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Ccdb_serial.Check.conflict_serializable logs)))
+
+let bench_heap =
+  Bechamel.Test.make ~name:"heap.push100+drain"
+    (Bechamel.Staged.stage
+       (let rng = Ccdb_util.Rng.create ~seed:9 in
+        fun () ->
+          let h = Ccdb_util.Heap.create ~cmp:Int.compare in
+          for _ = 1 to 100 do
+            ignore (Ccdb_util.Heap.push h (Ccdb_util.Rng.int rng 10_000))
+          done;
+          while Ccdb_util.Heap.pop h <> None do
+            ()
+          done))
+
+let bench_end_to_end =
+  (* a whole small simulation: 40 mixed transactions through the unified
+     system, to quiescence *)
+  Bechamel.Test.make ~name:"unified.sim-40txn"
+    (Bechamel.Staged.stage
+       (let spec =
+          { Ccdb_workload.Generator.default with
+            arrival_rate = 0.2;
+            protocol_mix =
+              [ (Ccdb_model.Protocol.Two_pl, 1.);
+                (Ccdb_model.Protocol.T_o, 1.); (Ccdb_model.Protocol.Pa, 1.) ] }
+        in
+        let setup =
+          { Ccdb_harness.Driver.default_setup with items = 12; sites = 3 }
+        in
+        fun () ->
+          ignore
+            (Ccdb_harness.Driver.run ~setup ~n_txns:40
+               Ccdb_harness.Driver.Unified spec)))
+
+let run_micro () =
+  print_endline "=== Micro-benchmarks (bechamel, ns/op via OLS) ===";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"ccdb"
+      [ bench_precedence_compare; bench_semi_lock_cycle; bench_lock_table_cycle;
+        bench_stl_eval; bench_conflict_check; bench_heap; bench_end_to_end ]
+  in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second (if quick then 0.1 else 0.5))
+      ()
+  in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Bechamel.Benchmark.all cfg instances tests in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results =
+    Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> Float.nan
+        in
+        let r2 =
+          Option.value ~default:Float.nan (Bechamel.Analyze.OLS.r_square ols)
+        in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let table =
+    Ccdb_util.Table.create
+      ~columns:
+        [ ("benchmark", Ccdb_util.Table.Left); ("ns/op", Ccdb_util.Table.Right);
+          ("r^2", Ccdb_util.Table.Right) ]
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Ccdb_util.Table.add_row table
+        [ name; Ccdb_util.Table.fmt_float ~decimals:1 ns;
+          Ccdb_util.Table.fmt_float ~decimals:4 r2 ])
+    rows;
+  print_string (Ccdb_util.Table.render table)
+
+let () =
+  if not micro_only then run_experiments ();
+  if not exp_only then run_micro ()

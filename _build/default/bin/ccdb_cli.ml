@@ -1,0 +1,342 @@
+(* Command-line driver: run single simulations, experiment tables, or STL
+   evaluations from the shell.
+
+     ccdb_cli run --mode dynamic --lambda 0.2 --txns 400
+     ccdb_cli experiments --only E1,E6 --quick
+     ccdb_cli stl --lambda-a 1.0 --loss 0.3 --horizon 40 *)
+
+let protocol_conv =
+  let parse s =
+    match Ccdb_model.Protocol.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  Cmdliner.Arg.conv (parse, Ccdb_model.Protocol.pp)
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "unified" -> Ok Ccdb_harness.Driver.Unified
+    | "dynamic" -> Ok Ccdb_harness.Driver.Dynamic
+    | "full-lock" -> Ok Ccdb_harness.Driver.Unified_full_lock
+    | "pure-mvto" | "mvto" -> Ok Ccdb_harness.Driver.Mvto
+    | "pure-cto" | "conservative" -> Ok Ccdb_harness.Driver.Conservative
+    | s -> (
+      let strip prefix =
+        if String.length s > String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix
+        then
+          Some
+            (String.sub s (String.length prefix)
+               (String.length s - String.length prefix))
+        else None
+      in
+      match strip "pure-" with
+      | Some p -> (
+        match Ccdb_model.Protocol.of_string p with
+        | Some p -> Ok (Ccdb_harness.Driver.Pure p)
+        | None -> Error (`Msg ("unknown protocol in mode: " ^ s)))
+      | None -> (
+        match strip "unified-" with
+        | Some p -> (
+          match Ccdb_model.Protocol.of_string p with
+          | Some p -> Ok (Ccdb_harness.Driver.Unified_forced p)
+          | None -> Error (`Msg ("unknown protocol in mode: " ^ s)))
+        | None -> Error (`Msg ("unknown mode: " ^ s))))
+  in
+  let print ppf mode =
+    Format.pp_print_string ppf (Ccdb_harness.Driver.mode_name mode)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ run *)
+
+let run_cmd =
+  let open Cmdliner in
+  let mode =
+    Arg.(value & opt mode_conv Ccdb_harness.Driver.Unified
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:
+               "System to run: pure-2pl, pure-to, pure-pa, pure-mvto, \
+                pure-cto, unified, unified-2pl, unified-to, unified-pa, \
+                full-lock, dynamic.")
+  in
+  let lambda =
+    Arg.(value & opt float 0.1 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let txns = Arg.(value & opt int 400 & info [ "txns" ] ~doc:"Transactions.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Sites.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let repl =
+    Arg.(value & opt int 2 & info [ "replication" ] ~doc:"Copies per item.")
+  in
+  let size_min = Arg.(value & opt int 1 & info [ "size-min" ] ~doc:"Min st.") in
+  let size_max = Arg.(value & opt int 3 & info [ "size-max" ] ~doc:"Max st.") in
+  let qr =
+    Arg.(value & opt float 0.5 & info [ "read-fraction" ] ~doc:"Read fraction.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let mix =
+    Arg.(value & opt (list protocol_conv) Ccdb_model.Protocol.all
+         & info [ "mix" ]
+             ~doc:"Protocol mix for the unified mode (even weights).")
+  in
+  let detection =
+    let parse s =
+      match String.split_on_char ':' (String.lowercase_ascii s) with
+      | [ "centralized"; v ] ->
+        (try
+           Ok (Ccdb_protocols.Deadlock.Centralized
+                 { interval = float_of_string v; detector_site = 0 })
+         with _ -> Error (`Msg "bad interval"))
+      | [ "edge-chasing"; v ] ->
+        (try
+           Ok (Ccdb_protocols.Deadlock.Edge_chasing
+                 { probe_delay = float_of_string v })
+         with _ -> Error (`Msg "bad probe delay"))
+      | _ -> Error (`Msg "expected centralized:INTERVAL or edge-chasing:DELAY")
+    in
+    let print ppf = function
+      | Ccdb_protocols.Deadlock.Centralized { interval; _ } ->
+        Format.fprintf ppf "centralized:%g" interval
+      | Ccdb_protocols.Deadlock.Edge_chasing { probe_delay } ->
+        Format.fprintf ppf "edge-chasing:%g" probe_delay
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Ccdb_protocols.Deadlock.default_detection
+         & info [ "detection" ]
+             ~doc:
+               "Deadlock detection: centralized:INTERVAL or \
+                edge-chasing:DELAY.")
+  in
+  let prevention =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "none" -> Ok Ccdb_protocols.Two_pl_system.No_prevention
+      | "wait-die" -> Ok Ccdb_protocols.Two_pl_system.Wait_die
+      | "wound-wait" -> Ok Ccdb_protocols.Two_pl_system.Wound_wait
+      | _ -> Error (`Msg "expected none, wait-die or wound-wait")
+    in
+    let print ppf = function
+      | Ccdb_protocols.Two_pl_system.No_prevention ->
+        Format.pp_print_string ppf "none"
+      | Ccdb_protocols.Two_pl_system.Wait_die ->
+        Format.pp_print_string ppf "wait-die"
+      | Ccdb_protocols.Two_pl_system.Wound_wait ->
+        Format.pp_print_string ppf "wound-wait"
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Ccdb_protocols.Two_pl_system.No_prevention
+         & info [ "prevention" ]
+             ~doc:
+               "Deadlock prevention for pure 2PL: none, wait-die or \
+                wound-wait.")
+  in
+  let twr =
+    Arg.(value & flag
+         & info [ "thomas-write-rule" ]
+             ~doc:"Enable the Thomas Write Rule in the pure T/O baseline.")
+  in
+  let run mode lambda txns sites items repl size_min size_max qr seed mix
+      detection prevention twr =
+    let spec =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = lambda;
+        size_min;
+        size_max;
+        read_fraction = qr;
+        protocol_mix = List.map (fun p -> (p, 1.)) mix }
+    in
+    let setup =
+      { Ccdb_harness.Driver.default_setup with
+        sites; items; replication = repl; seed;
+        net = Ccdb_sim.Net.default_config ~sites;
+        detection; prevention; thomas_write_rule = twr }
+    in
+    let r = Ccdb_harness.Driver.run ~setup ~n_txns:txns mode spec in
+    let s = r.summary in
+    Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
+    Format.printf "workload:        %a@." Ccdb_workload.Generator.pp_spec spec;
+    Format.printf "committed:       %d@." s.committed;
+    Format.printf "mean S:          %.2f@." s.mean_system_time;
+    Format.printf "p95 S:           %.2f@." s.p95_system_time;
+    Format.printf "throughput:      %.4f txns/unit@." s.throughput;
+    Format.printf "restarts/txn:    %.3f@." s.restarts_per_txn;
+    Format.printf "deadlock aborts: %d@." s.deadlock_aborts;
+    Format.printf "backoffs/txn:    %.3f@." s.backoffs_per_txn;
+    Format.printf "messages/txn:    %.1f@." s.messages_per_txn;
+    Format.printf "serializable:    %b@." s.serializable;
+    Format.printf "replicas ok:     %b@." s.replica_consistent;
+    (match r.decisions with
+     | [] -> ()
+     | decisions ->
+       Format.printf "protocol mix:    %a@."
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+            (fun ppf (p, n) ->
+              Format.fprintf ppf "%a=%d" Ccdb_model.Protocol.pp p n))
+         decisions);
+    if not s.serializable then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
+    Term.(
+      const run $ mode $ lambda $ txns $ sites $ items $ repl $ size_min
+      $ size_max $ qr $ seed $ mix $ detection $ prevention $ twr)
+
+(* ---------------------------------------------------------- experiments *)
+
+let experiments_cmd =
+  let open Cmdliner in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced transaction counts.")
+  in
+  let only =
+    Arg.(value & opt (list string) []
+         & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated ids, e.g. E1,E6.")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV.")
+  in
+  let run quick only csv_dir =
+    let wanted o =
+      only = [] || List.exists (fun id -> String.uppercase_ascii id = o.Ccdb_harness.Experiments.id) only
+    in
+    List.iter
+      (fun o ->
+        if wanted o then begin
+          print_endline (Ccdb_harness.Experiments.render o);
+          print_newline ();
+          match csv_dir with
+          | None -> ()
+          | Some dir ->
+            let path =
+              Filename.concat dir
+                (String.lowercase_ascii o.Ccdb_harness.Experiments.id ^ ".csv")
+            in
+            let oc = open_out path in
+            output_string oc (Ccdb_util.Table.to_csv o.Ccdb_harness.Experiments.table);
+            close_out oc;
+            Printf.printf "(wrote %s)\n\n" path
+        end)
+      (Ccdb_harness.Experiments.all ~quick ())
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper-reproduction tables (E1-E10).")
+    Term.(const run $ quick $ only $ csv_dir)
+
+(* ---------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let open Cmdliner in
+  let lambdas =
+    Arg.(value & opt (list float) [ 0.02; 0.05; 0.1; 0.2; 0.4 ]
+         & info [ "lambdas" ] ~doc:"Arrival rates to sweep.")
+  in
+  let modes =
+    Arg.(value
+         & opt (list mode_conv)
+             [ Ccdb_harness.Driver.Pure Ccdb_model.Protocol.Two_pl;
+               Ccdb_harness.Driver.Pure Ccdb_model.Protocol.T_o;
+               Ccdb_harness.Driver.Pure Ccdb_model.Protocol.Pa ]
+         & info [ "modes" ] ~doc:"Systems to sweep.")
+  in
+  let txns = Arg.(value & opt int 400 & info [ "txns" ] ~doc:"Transactions.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let run lambdas modes txns items csv =
+    let table =
+      Ccdb_util.Table.create
+        ~columns:
+          [ ("mode", Ccdb_util.Table.Left); ("lambda", Ccdb_util.Table.Right);
+            ("mean S", Ccdb_util.Table.Right); ("p95 S", Ccdb_util.Table.Right);
+            ("restarts/txn", Ccdb_util.Table.Right);
+            ("deadlocks", Ccdb_util.Table.Right);
+            ("msgs/txn", Ccdb_util.Table.Right);
+            ("serializable", Ccdb_util.Table.Left) ]
+    in
+    List.iter
+      (fun mode ->
+        List.iter
+          (fun lambda ->
+            let spec =
+              { Ccdb_workload.Generator.default with arrival_rate = lambda }
+            in
+            let setup = { Ccdb_harness.Driver.default_setup with items } in
+            let s =
+              (Ccdb_harness.Driver.run ~setup ~n_txns:txns mode spec).summary
+            in
+            Ccdb_util.Table.add_row table
+              [ Ccdb_harness.Driver.mode_name mode;
+                Printf.sprintf "%.3f" lambda;
+                Ccdb_util.Table.fmt_float s.mean_system_time;
+                Ccdb_util.Table.fmt_float s.p95_system_time;
+                Ccdb_util.Table.fmt_float ~decimals:3 s.restarts_per_txn;
+                string_of_int s.deadlock_aborts;
+                Ccdb_util.Table.fmt_float ~decimals:1 s.messages_per_txn;
+                (if s.serializable then "yes" else "NO") ])
+          lambdas)
+      modes;
+    print_string (Ccdb_util.Table.render table);
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Ccdb_util.Table.to_csv table);
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep arrival rates across systems; print/CSV.")
+    Term.(const run $ lambdas $ modes $ txns $ items $ csv)
+
+(* ------------------------------------------------------------------ stl *)
+
+let stl_cmd =
+  let open Cmdliner in
+  let lambda_a =
+    Arg.(value & opt float 1.0 & info [ "lambda-a" ] ~doc:"System throughput.")
+  in
+  let lambda_r =
+    Arg.(value & opt float 0.04 & info [ "lambda-r" ] ~doc:"Queue read rate.")
+  in
+  let lambda_w =
+    Arg.(value & opt float 0.04 & info [ "lambda-w" ] ~doc:"Queue write rate.")
+  in
+  let qr = Arg.(value & opt float 0.5 & info [ "qr" ] ~doc:"Read fraction.") in
+  let k = Arg.(value & opt float 3. & info [ "k" ] ~doc:"Requests per txn.") in
+  let loss =
+    Arg.(value & opt float 0.3 & info [ "loss" ] ~doc:"Initial loss rate.")
+  in
+  let horizon =
+    Arg.(value & opt float 40. & info [ "horizon" ] ~doc:"Lock time U.")
+  in
+  let run lambda_a lambda_r lambda_w qr k loss horizon =
+    let p =
+      { Ccdb_stl.Stl_model.lambda_a; lambda_r; lambda_w; q_r = qr; k }
+    in
+    let v = Ccdb_stl.Stl_model.stl' p ~lambda_loss:loss ~u:horizon in
+    Format.printf "STL'(%.3f, %.1f) = %.4f@." loss horizon v;
+    Format.printf "lambda_block    = %.4f@."
+      (Ccdb_stl.Stl_model.lambda_block p ~lambda_loss:loss);
+    Format.printf "delta per block = %.4f@." (Ccdb_stl.Stl_model.delta p);
+    Format.printf "bounds: [%.4f, %.4f]@." (loss *. horizon)
+      (lambda_a *. horizon)
+  in
+  Cmd.v (Cmd.info "stl" ~doc:"Evaluate the STL' dynamic program.")
+    Term.(const run $ lambda_a $ lambda_r $ lambda_w $ qr $ k $ loss $ horizon)
+
+let () =
+  let open Cmdliner in
+  let doc =
+    "A unified concurrency control algorithm for distributed database \
+     systems (Wang & Li, ICDE 1988) — reproduction toolkit."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ccdb_cli" ~doc)
+          [ run_cmd; experiments_cmd; sweep_cmd; stl_cmd ]))

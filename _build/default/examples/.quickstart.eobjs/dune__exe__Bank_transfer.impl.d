@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Ccdb_util Core Format List

@@ -1,0 +1,1 @@
+examples/dynamic_tuning.ml: Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Ccdb_util Ccdb_workload Core Float Format List

@@ -1,0 +1,1 @@
+examples/inventory_hotspot.ml: Ccdb_harness Ccdb_model Ccdb_util Ccdb_workload List

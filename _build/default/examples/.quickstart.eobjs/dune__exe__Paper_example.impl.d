@@ -1,0 +1,1 @@
+examples/paper_example.ml: Ccdb_harness Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Core Format

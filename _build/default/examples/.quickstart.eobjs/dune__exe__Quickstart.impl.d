@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Core Format List

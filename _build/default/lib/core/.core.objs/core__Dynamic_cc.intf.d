@@ -1,0 +1,1 @@
+lib/core/dynamic_cc.mli: Ccdb_model Ccdb_protocols Ccdb_stl Unified_system

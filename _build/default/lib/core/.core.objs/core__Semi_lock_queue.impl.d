@@ -1,0 +1,1 @@
+lib/core/semi_lock_queue.ml: Ccdb_model List Option

@@ -1,0 +1,1 @@
+lib/core/semi_lock_queue.mli: Ccdb_model

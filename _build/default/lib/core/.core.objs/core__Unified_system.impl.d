@@ -1,0 +1,1 @@
+lib/core/unified_system.ml: Buffer Ccdb_model Ccdb_protocols Ccdb_sim Ccdb_storage Hashtbl Int List Printf Semi_lock_queue String

@@ -1,0 +1,1 @@
+lib/core/unified_system.mli: Ccdb_model Ccdb_protocols

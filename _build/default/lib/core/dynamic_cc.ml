@@ -1,0 +1,62 @@
+type config = {
+  unified : Unified_system.config;
+  candidates : Ccdb_model.Protocol.t list;
+  class_cache_ttl : float;
+  priors : Ccdb_stl.Estimator.priors;
+  reselect_on_restart : bool;
+  criterion : Ccdb_stl.Selector.criterion;
+}
+
+let default_config =
+  { unified = Unified_system.default_config;
+    candidates = Ccdb_model.Protocol.all;
+    class_cache_ttl = 100.;
+    priors = Ccdb_stl.Estimator.default_priors;
+    reselect_on_restart = false;
+    criterion = Ccdb_stl.Selector.Min_stl }
+
+type t = {
+  rt : Ccdb_protocols.Runtime.t;
+  system : Unified_system.t;
+  estimator : Ccdb_stl.Estimator.t;
+  selector : Ccdb_stl.Selector.t;
+  mutable last_verdict : Ccdb_stl.Selector.verdict option;
+}
+
+let create ?(config = default_config) rt =
+  let estimator = Ccdb_stl.Estimator.create ~priors:config.priors rt in
+  let selector =
+    Ccdb_stl.Selector.create ~candidates:config.candidates
+      ~criterion:config.criterion ~class_cache_ttl:config.class_cache_ttl
+      (Ccdb_protocols.Runtime.catalog rt)
+      estimator
+  in
+  let reselect =
+    if config.reselect_on_restart then
+      Some
+        (fun txn ->
+          (Ccdb_stl.Selector.choose selector
+             ~now:(Ccdb_protocols.Runtime.now rt) txn)
+            .chosen)
+    else None
+  in
+  let system = Unified_system.create ~config:config.unified ?reselect rt in
+  { rt; system; estimator; selector; last_verdict = None }
+
+let submit t ?payload txn =
+  let verdict =
+    Ccdb_stl.Selector.choose t.selector ~now:(Ccdb_protocols.Runtime.now t.rt)
+      txn
+  in
+  t.last_verdict <- Some verdict;
+  let routed =
+    Ccdb_model.Txn.make ~id:txn.Ccdb_model.Txn.id ~site:txn.site
+      ~read_set:txn.read_set ~write_set:txn.write_set
+      ~compute_time:txn.compute_time ~protocol:verdict.chosen
+  in
+  Unified_system.submit t.system ?payload routed
+
+let last_verdict t = t.last_verdict
+let decisions t = Ccdb_stl.Selector.decisions t.selector
+let unified t = t.system
+let estimator t = t.estimator

@@ -1,0 +1,38 @@
+(** Dynamic concurrency control: the complete system of the paper.
+
+    Wraps {!Unified_system} with the STL-based selector — every submitted
+    transaction is routed to the protocol (2PL, T/O or PA) whose estimated
+    system-throughput loss is smallest, with parameters estimated online
+    from the run itself (section 5). *)
+
+type config = {
+  unified : Unified_system.config;
+  candidates : Ccdb_model.Protocol.t list;
+  class_cache_ttl : float;
+  priors : Ccdb_stl.Estimator.priors;
+  reselect_on_restart : bool;
+      (** the paper's future-work item (4): re-run the selector whenever a
+          transaction restarts, letting it switch protocol mid-life *)
+  criterion : Ccdb_stl.Selector.criterion;
+      (** what the selector minimises; [Min_stl] is the paper's choice *)
+}
+
+val default_config : config
+(** reselect_on_restart is off by default (the paper's base design). *)
+
+type t
+
+val create : ?config:config -> Ccdb_protocols.Runtime.t -> t
+
+val submit : t -> ?payload:Unified_system.payload_fn -> Ccdb_model.Txn.t -> unit
+(** The transaction's own [protocol] field is ignored; the selector decides.
+    @raise Invalid_argument on a duplicate live transaction id. *)
+
+val last_verdict : t -> Ccdb_stl.Selector.verdict option
+(** Selection of the most recent submission (diagnostics). *)
+
+val decisions : t -> (Ccdb_model.Protocol.t * int) list
+(** Transactions routed to each protocol so far. *)
+
+val unified : t -> Unified_system.t
+val estimator : t -> Ccdb_stl.Estimator.t

@@ -1,0 +1,287 @@
+type response = Accepted | Rejected | Backoff of int
+
+type entry = {
+  txn : int;
+  site : int;
+  protocol : Ccdb_model.Protocol.t;
+  op : Ccdb_model.Op.kind;
+  interval : int;
+  epoch : int;
+  mutable prec : Ccdb_model.Precedence.t;
+  mutable blocked : bool;
+  mutable lock : Ccdb_model.Lock.mode option;
+  mutable schedule : Ccdb_model.Lock.schedule;
+  mutable grant_seq : int;
+  mutable granted_at : float;
+  mutable implemented : bool;
+}
+
+type grant = { entry : entry; schedule : Ccdb_model.Lock.schedule }
+
+type t = {
+  semi_locks : bool;
+  mutable entries : entry list; (* sorted by unified precedence *)
+  mutable max_ts_seen : int;    (* biggest timestamp ever in this queue *)
+  mutable arrival_counter : int;
+  mutable grant_counter : int;
+  mutable r_released : int;     (* high-water marks of released entries *)
+  mutable w_released : int;
+}
+
+let create ?(semi_locks = true) () =
+  { semi_locks; entries = []; max_ts_seen = 0; arrival_counter = 0;
+    grant_counter = 0; r_released = -1; w_released = -1 }
+
+let compare_entries a b = Ccdb_model.Precedence.compare a.prec b.prec
+
+let sort t = t.entries <- List.stable_sort compare_entries t.entries
+
+let granted_max t op =
+  List.fold_left
+    (fun acc e ->
+      if e.lock <> None && Ccdb_model.Op.equal e.op op then
+        max acc e.prec.Ccdb_model.Precedence.ts
+      else acc)
+    (-1) t.entries
+
+let r_ts t = max t.r_released (granted_max t Ccdb_model.Op.Read)
+let w_ts t = max t.w_released (granted_max t Ccdb_model.Op.Write)
+
+let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
+  if List.exists (fun e -> e.txn = txn) t.entries then
+    invalid_arg "Semi_lock_queue.request: duplicate request";
+  let fresh prec blocked =
+    { txn; site; protocol; op; interval; epoch; prec; blocked; lock = None;
+      schedule = Ccdb_model.Lock.Normal; grant_seq = -1; granted_at = 0.;
+      implemented = false }
+  in
+  match protocol, ts with
+  | Ccdb_model.Protocol.Two_pl, None ->
+    (* 2PL precedence: the biggest timestamp ever seen here, tail position *)
+    let prec =
+      Ccdb_model.Precedence.queue_local ~ts:t.max_ts_seen
+        ~arrival:t.arrival_counter
+    in
+    t.arrival_counter <- t.arrival_counter + 1;
+    t.entries <- t.entries @ [ fresh prec false ];
+    sort t;
+    Accepted
+  | (Ccdb_model.Protocol.T_o | Ccdb_model.Protocol.Pa), Some ts ->
+    let floor =
+      match op with
+      | Ccdb_model.Op.Read -> w_ts t
+      | Ccdb_model.Op.Write -> max (w_ts t) (r_ts t)
+    in
+    let admit ts blocked =
+      t.max_ts_seen <- max t.max_ts_seen ts;
+      let prec = Ccdb_model.Precedence.timestamped ~ts ~site ~txn in
+      t.entries <- t.entries @ [ fresh prec blocked ];
+      sort t
+    in
+    if ts > floor then begin
+      admit ts false;
+      Accepted
+    end
+    else begin
+      match protocol with
+      | Ccdb_model.Protocol.T_o -> Rejected
+      | Ccdb_model.Protocol.Pa ->
+        let tuple = Ccdb_model.Timestamp.Tuple.make ~ts ~interval in
+        let ts' = Ccdb_model.Timestamp.Tuple.backoff tuple ~floor in
+        admit ts' true;
+        Backoff ts'
+      | Ccdb_model.Protocol.Two_pl -> assert false
+    end
+  | Ccdb_model.Protocol.Two_pl, Some _ ->
+    invalid_arg "Semi_lock_queue.request: 2PL requests carry no timestamp"
+  | (Ccdb_model.Protocol.T_o | Ccdb_model.Protocol.Pa), None ->
+    invalid_arg "Semi_lock_queue.request: timestamped protocol needs a ts"
+
+let update_ts t ~txn ~ts =
+  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  | None -> `Absent
+  | Some e ->
+    let revoked = e.lock <> None in
+    t.max_ts_seen <- max t.max_ts_seen ts;
+    e.prec <-
+      Ccdb_model.Precedence.timestamped ~ts ~site:e.site ~txn:e.txn;
+    e.blocked <- false;
+    e.lock <- None;
+    e.schedule <- Ccdb_model.Lock.Normal;
+    e.grant_seq <- -1;
+    sort t;
+    if revoked then `Revoked else `Moved
+
+let lock_mode_for t (e : entry) =
+  (* the lock mode this entry would be granted, per protocol and queue mode *)
+  match e.protocol, e.op with
+  | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Read ->
+    Ccdb_model.Lock.Rl
+  | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Write ->
+    Ccdb_model.Lock.Wl
+  | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Read ->
+    if t.semi_locks then Ccdb_model.Lock.Srl else Ccdb_model.Lock.Rl
+  | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Write -> Ccdb_model.Lock.Wl
+
+(* May [e] be granted now, given the currently held locks?  Returns the
+   grant's schedule when allowed. *)
+let grant_check t (e : entry) =
+  let held =
+    List.filter_map (fun e' -> Option.map (fun m -> m) e'.lock)
+      (List.filter (fun e' -> e'.txn <> e.txn) t.entries)
+  in
+  let has mode_pred = List.exists mode_pred held in
+  let to_semi_rules =
+    (* semi-lock grant rules, section 4.2 rule 2 *)
+    match e.protocol, e.op with
+    | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Read ->
+      (* RL once no WL or SWL is held *)
+      if has Ccdb_model.Lock.is_write_mode then None
+      else Some Ccdb_model.Lock.Normal
+    | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Write ->
+      (* WL once nothing is held *)
+      if held <> [] then None else Some Ccdb_model.Lock.Normal
+    | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Read ->
+      (* SRL once no plain WL is held; pre-scheduled under a held SWL *)
+      if has (fun m -> Ccdb_model.Lock.equal m Ccdb_model.Lock.Wl) then None
+      else if has (fun m -> Ccdb_model.Lock.equal m Ccdb_model.Lock.Swl) then
+        Some Ccdb_model.Lock.Pre_scheduled
+      else Some Ccdb_model.Lock.Normal
+    | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Write ->
+      (* WL once no RL and no WL held; pre-scheduled under held SRL/SWL *)
+      if
+        has (fun m ->
+            Ccdb_model.Lock.equal m Ccdb_model.Lock.Rl
+            || Ccdb_model.Lock.equal m Ccdb_model.Lock.Wl)
+      then None
+      else if has Ccdb_model.Lock.is_semi then Some Ccdb_model.Lock.Pre_scheduled
+      else Some Ccdb_model.Lock.Normal
+  in
+  let full_lock_rules =
+    (* the paper's simple alternative: everything locks like 2PL/PA *)
+    match e.op with
+    | Ccdb_model.Op.Read ->
+      if has Ccdb_model.Lock.is_write_mode then None
+      else Some Ccdb_model.Lock.Normal
+    | Ccdb_model.Op.Write ->
+      if held <> [] then None else Some Ccdb_model.Lock.Normal
+  in
+  if t.semi_locks then to_semi_rules else full_lock_rules
+
+let grant_ready t ~now =
+  let newly = ref [] in
+  (* HD discipline: walk in precedence order past granted entries; grant the
+     frontier while possible, stop at the first entry that keeps waiting. *)
+  let rec scan = function
+    | [] -> ()
+    | e :: rest ->
+      if e.lock <> None then scan rest
+      else if e.blocked then ()
+      else begin
+        match grant_check t e with
+        | None -> ()
+        | Some schedule ->
+          e.lock <- Some (lock_mode_for t e);
+          e.schedule <- schedule;
+          e.grant_seq <- t.grant_counter;
+          t.grant_counter <- t.grant_counter + 1;
+          e.granted_at <- now;
+          newly := { entry = e; schedule } :: !newly;
+          scan rest
+      end
+  in
+  scan t.entries;
+  List.rev !newly
+
+let transform t ~txn =
+  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  | None -> None
+  | Some e ->
+    (match e.lock with
+     | Some mode -> e.lock <- Some (Ccdb_model.Lock.to_semi mode)
+     | None -> ());
+    Some e
+
+(* Pre-scheduled locks whose earlier conflicting grants are now all gone. *)
+let promotions t =
+  List.filter
+    (fun e ->
+      e.lock <> None
+      && Ccdb_model.Lock.schedule_equal e.schedule Ccdb_model.Lock.Pre_scheduled
+      && not
+           (List.exists
+              (fun e' ->
+                e'.txn <> e.txn && e'.grant_seq >= 0
+                && e'.grant_seq < e.grant_seq
+                && match e'.lock, e.lock with
+                   | Some m', Some m -> Ccdb_model.Lock.conflicts m' m
+                   | _, _ -> false)
+              t.entries))
+    t.entries
+
+let remove t ~txn ~advance_hwm =
+  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  | None -> None
+  | Some e ->
+    t.entries <- List.filter (fun e' -> e'.txn <> txn) t.entries;
+    if advance_hwm then begin
+      let ts = e.prec.Ccdb_model.Precedence.ts in
+      match e.op with
+      | Ccdb_model.Op.Read -> t.r_released <- max t.r_released ts
+      | Ccdb_model.Op.Write -> t.w_released <- max t.w_released ts
+    end;
+    let promoted = promotions t in
+    List.iter
+      (fun (p : entry) -> p.schedule <- Ccdb_model.Lock.Normal)
+      promoted;
+    Some (e, promoted)
+
+let release t ~txn = remove t ~txn ~advance_hwm:true
+let abort t ~txn = remove t ~txn ~advance_hwm:false
+
+let waits_for t =
+  let edges = ref [] in
+  let rec scan earlier = function
+    | [] -> ()
+    | e :: rest ->
+      (* blocked PA entries wait on their own issuer, not on other
+         transactions, so they contribute no outgoing edges *)
+      if e.lock = None && not e.blocked then
+        List.iter
+          (fun e' ->
+            if e'.txn <> e.txn then begin
+              let conflicting =
+                Ccdb_model.Op.conflicts e'.op e.op
+              in
+              let frontier = e'.lock = None in
+              if conflicting || frontier then edges := (e.txn, e'.txn) :: !edges
+            end)
+          earlier;
+      scan (e :: earlier) rest
+  in
+  scan [] t.entries;
+  (* a held pre-scheduled lock is itself a wait: its owner cannot release
+     (and a draining T/O transaction cannot finish) until every conflicting
+     lock granted earlier is released.  Without these edges a deadlock
+     running through a draining transaction is invisible to detection. *)
+  List.iter
+    (fun e ->
+      if
+        e.lock <> None
+        && Ccdb_model.Lock.schedule_equal e.schedule
+             Ccdb_model.Lock.Pre_scheduled
+      then
+        List.iter
+          (fun e' ->
+            match e'.lock, e.lock with
+            | Some m', Some m
+              when e'.txn <> e.txn && e'.grant_seq >= 0
+                   && e'.grant_seq < e.grant_seq
+                   && Ccdb_model.Lock.conflicts m' m ->
+              edges := (e.txn, e'.txn) :: !edges
+            | _, _ -> ())
+          t.entries)
+    t.entries;
+  List.sort_uniq compare !edges
+
+let entries t = t.entries

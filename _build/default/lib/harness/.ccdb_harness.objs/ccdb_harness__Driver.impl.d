@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Ccdb_model Ccdb_protocols Ccdb_sim Ccdb_storage Ccdb_util Ccdb_workload Core Hashtbl List Metrics Option

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Ccdb_model Ccdb_protocols Ccdb_sim Ccdb_workload Metrics

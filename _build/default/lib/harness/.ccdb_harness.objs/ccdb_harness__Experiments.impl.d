@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Buffer Ccdb_model Ccdb_protocols Ccdb_sim Ccdb_stl Ccdb_storage Ccdb_util Ccdb_workload Core Driver Float List Metrics Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Array Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Ccdb_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/harness/metrics.mli: Ccdb_model Ccdb_protocols Ccdb_util

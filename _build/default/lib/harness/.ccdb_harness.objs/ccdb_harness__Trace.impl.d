@@ -1,0 +1,1 @@
+lib/harness/trace.ml: Ccdb_model Ccdb_protocols Format List Printf String

@@ -1,0 +1,202 @@
+module Rt = Ccdb_protocols.Runtime
+
+type setup = {
+  sites : int;
+  items : int;
+  replication : int;
+  net : Ccdb_sim.Net.config;
+  seed : int;
+  restart_delay : float;
+  detection : Ccdb_protocols.Deadlock.detection;
+  thomas_write_rule : bool;
+  prevention : Ccdb_protocols.Two_pl_system.prevention;
+}
+
+let default_setup =
+  { sites = 4; items = 32; replication = 2;
+    net = Ccdb_sim.Net.default_config ~sites:4; seed = 42;
+    restart_delay = 50.; detection = Ccdb_protocols.Deadlock.default_detection;
+    thomas_write_rule = false;
+    prevention = Ccdb_protocols.Two_pl_system.No_prevention }
+
+type mode =
+  | Pure of Ccdb_model.Protocol.t
+  | Unified
+  | Unified_forced of Ccdb_model.Protocol.t
+  | Unified_full_lock
+  | Dynamic
+  | Mvto
+  | Conservative
+
+let mode_name = function
+  | Pure p -> "pure-" ^ Ccdb_model.Protocol.to_string p
+  | Unified -> "unified"
+  | Unified_forced p -> "unified-" ^ Ccdb_model.Protocol.to_string p
+  | Unified_full_lock -> "unified-full-lock"
+  | Dynamic -> "dynamic"
+  | Mvto -> "pure-mvto"
+  | Conservative -> "pure-cto"
+
+type result = {
+  summary : Metrics.summary;
+  runtime : Rt.t;
+  decisions : (Ccdb_model.Protocol.t * int) list;
+}
+
+(* A uniform submit interface over the five system shapes. *)
+type system = {
+  submit : Ccdb_model.Txn.t -> unit;
+  decisions : unit -> (Ccdb_model.Protocol.t * int) list;
+}
+
+let force_protocol protocol (txn : Ccdb_model.Txn.t) =
+  if Ccdb_model.Protocol.equal txn.protocol protocol then txn
+  else
+    Ccdb_model.Txn.make ~id:txn.id ~site:txn.site ~read_set:txn.read_set
+      ~write_set:txn.write_set ~compute_time:txn.compute_time ~protocol
+
+let build_system ~(setup : setup) mode rt =
+  let restart_delay = setup.restart_delay in
+  let tally = Hashtbl.create 4 in
+  let record (txn : Ccdb_model.Txn.t) =
+    let cur =
+      Option.value ~default:0 (Hashtbl.find_opt tally txn.protocol)
+    in
+    Hashtbl.replace tally txn.protocol (cur + 1)
+  in
+  let decisions_of_tally () =
+    Hashtbl.fold (fun p n acc -> (p, n) :: acc) tally []
+    |> List.sort (fun (a, _) (b, _) -> Ccdb_model.Protocol.compare a b)
+  in
+  match mode with
+  | Pure Ccdb_model.Protocol.Two_pl ->
+    let config =
+      { Ccdb_protocols.Two_pl_system.restart_delay;
+        detection = setup.detection;
+        prevention = setup.prevention }
+    in
+    let sys = Ccdb_protocols.Two_pl_system.create ~config rt in
+    { submit =
+        (fun txn ->
+          record txn;
+          Ccdb_protocols.Two_pl_system.submit sys
+            (force_protocol Ccdb_model.Protocol.Two_pl txn));
+      decisions = decisions_of_tally }
+  | Pure Ccdb_model.Protocol.T_o ->
+    let sys =
+      Ccdb_protocols.To_system.create
+        ~config:
+          { Ccdb_protocols.To_system.restart_delay;
+            thomas_write_rule = setup.thomas_write_rule }
+        rt
+    in
+    { submit =
+        (fun txn ->
+          record txn;
+          Ccdb_protocols.To_system.submit sys
+            (force_protocol Ccdb_model.Protocol.T_o txn));
+      decisions = decisions_of_tally }
+  | Pure Ccdb_model.Protocol.Pa ->
+    let sys = Ccdb_protocols.Pa_system.create rt in
+    { submit =
+        (fun txn ->
+          record txn;
+          Ccdb_protocols.Pa_system.submit sys
+            (force_protocol Ccdb_model.Protocol.Pa txn));
+      decisions = decisions_of_tally }
+  | Unified ->
+    let config =
+      { Core.Unified_system.default_config with restart_delay;
+        detection = setup.detection }
+    in
+    let sys = Core.Unified_system.create ~config rt in
+    { submit =
+        (fun txn ->
+          record txn;
+          Core.Unified_system.submit sys txn);
+      decisions = decisions_of_tally }
+  | Unified_forced protocol ->
+    let config =
+      { Core.Unified_system.default_config with restart_delay;
+        detection = setup.detection }
+    in
+    let sys = Core.Unified_system.create ~config rt in
+    { submit =
+        (fun txn ->
+          let txn = force_protocol protocol txn in
+          record txn;
+          Core.Unified_system.submit sys txn);
+      decisions = decisions_of_tally }
+  | Unified_full_lock ->
+    let config =
+      { Core.Unified_system.default_config with semi_locks = false;
+        restart_delay; detection = setup.detection }
+    in
+    let sys = Core.Unified_system.create ~config rt in
+    { submit =
+        (fun txn ->
+          record txn;
+          Core.Unified_system.submit sys txn);
+      decisions = decisions_of_tally }
+  | Dynamic ->
+    let config =
+      { Core.Dynamic_cc.default_config with
+        unified =
+          { Core.Unified_system.default_config with restart_delay;
+            detection = setup.detection } }
+    in
+    let sys = Core.Dynamic_cc.create ~config rt in
+    { submit = (fun txn -> Core.Dynamic_cc.submit sys txn);
+      decisions = (fun () -> Core.Dynamic_cc.decisions sys) }
+  | Mvto ->
+    let sys =
+      Ccdb_protocols.Mvto_system.create
+        ~config:{ Ccdb_protocols.Mvto_system.restart_delay } rt
+    in
+    { submit =
+        (fun txn ->
+          record txn;
+          Ccdb_protocols.Mvto_system.submit sys
+            (force_protocol Ccdb_model.Protocol.T_o txn));
+      decisions = decisions_of_tally }
+  | Conservative ->
+    let sys = Ccdb_protocols.Cto_system.create rt in
+    { submit =
+        (fun txn ->
+          record txn;
+          Ccdb_protocols.Cto_system.submit sys
+            (force_protocol Ccdb_model.Protocol.T_o txn));
+      decisions = decisions_of_tally }
+
+let run ?(setup = default_setup) ?(n_txns = 200) ?observer mode spec =
+  let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
+  let catalog =
+    Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
+      ~replication:setup.replication
+  in
+  let rt = Rt.create ~seed:setup.seed ~net_config:net ~catalog () in
+  (match observer with Some f -> f rt | None -> ());
+  let system = build_system ~setup mode rt in
+  let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
+  let generator =
+    Ccdb_workload.Generator.create spec ~sites:setup.sites ~items:setup.items
+      wl_rng
+  in
+  let arrivals = Ccdb_workload.Generator.generate generator ~n:n_txns ~start:0. in
+  List.iter
+    (fun (at, txn) ->
+      ignore
+        (Ccdb_sim.Engine.schedule (Rt.engine rt) ~after:at (fun () ->
+             system.submit txn)))
+    arrivals;
+  Rt.quiesce ~max_events:50_000_000 rt;
+  { summary = Metrics.summarize rt; runtime = rt; decisions = system.decisions () }
+
+let run_replicated ?(setup = default_setup) ?(n_txns = 200) ?(replications = 3)
+    mode spec metric =
+  let values =
+    Array.init replications (fun i ->
+        let setup = { setup with seed = setup.seed + (1000 * i) } in
+        metric (run ~setup ~n_txns mode spec).summary)
+  in
+  Ccdb_util.Stats.Ci.mean_ci95 values

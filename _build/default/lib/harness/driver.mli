@@ -1,0 +1,79 @@
+(** One-call experiment driver: build a runtime, pick a system, inject a
+    workload, quiesce, summarize. *)
+
+type setup = {
+  sites : int;
+  items : int;
+  replication : int;
+  net : Ccdb_sim.Net.config;
+  seed : int;
+  restart_delay : float;
+      (** resubmission delay after a T/O rejection or a deadlock abort,
+          applied to every system built by {!run} *)
+  detection : Ccdb_protocols.Deadlock.detection;
+      (** deadlock-detection mechanism for the 2PL-capable systems *)
+  thomas_write_rule : bool;
+      (** enable the Thomas Write Rule in the pure T/O baseline *)
+  prevention : Ccdb_protocols.Two_pl_system.prevention;
+      (** deadlock prevention policy for the pure 2PL baseline *)
+}
+
+val default_setup : setup
+(** 4 sites, 32 items, replication 2, default network, seed 42,
+    restart_delay 50., centralized detection, Thomas Write Rule off. *)
+
+(** Which concurrency-control system executes the workload. *)
+type mode =
+  | Pure of Ccdb_model.Protocol.t
+      (** the standalone baseline implementation of one protocol; the
+          workload's protocol mix is ignored *)
+  | Unified
+      (** the unified system; each transaction runs under the protocol the
+          workload generator assigned it *)
+  | Unified_forced of Ccdb_model.Protocol.t
+      (** the unified system with every transaction forced to one protocol
+          (for preservation / E10 comparisons) *)
+  | Unified_full_lock
+      (** the unified system with semi-locks disabled (the E8 ablation) *)
+  | Dynamic
+      (** the full dynamic system: per-transaction min-STL selection *)
+  | Mvto
+      (** the multiversion T/O baseline; its executions are verified by
+          {!Ccdb_protocols.Mvto_system.verify} (a multiversion invariant),
+          so the summary's [serializable] flag is vacuously true (MVTO
+          writes no single-version implementation log) *)
+  | Conservative
+      (** the conservative T/O baseline (tick-driven, restart-free) *)
+
+val mode_name : mode -> string
+
+type result = {
+  summary : Metrics.summary;
+  runtime : Ccdb_protocols.Runtime.t;
+  decisions : (Ccdb_model.Protocol.t * int) list;
+      (** protocol routing (meaningful for [Dynamic] and [Unified]) *)
+}
+
+val run :
+  ?setup:setup ->
+  ?n_txns:int ->
+  ?observer:(Ccdb_protocols.Runtime.t -> unit) ->
+  mode ->
+  Ccdb_workload.Generator.spec ->
+  result
+(** Generates [n_txns] (default 200) transactions, schedules them at their
+    Poisson arrival times, runs to quiescence and summarizes.  [observer] is
+    invoked on the fresh runtime before any event fires (to subscribe
+    estimators or probes).
+    @raise Failure if the run livelocks (event budget exhausted). *)
+
+val run_replicated :
+  ?setup:setup ->
+  ?n_txns:int ->
+  ?replications:int ->
+  mode ->
+  Ccdb_workload.Generator.spec ->
+  (Metrics.summary -> float) ->
+  float * float
+(** [(mean, ci95_halfwidth)] of a metric over several seeds
+    (default 3 replications, seeds [setup.seed + 1000*i]). *)

@@ -1,0 +1,82 @@
+(** The reproduction suite: one experiment per evaluation claim of the
+    paper (the ICDE 1988 text has no numbered tables/figures; DESIGN.md
+    section 5 maps each claim to an experiment id).
+
+    Every function runs the full simulation(s) and renders the table the
+    paper's claim predicts.  [quick] shrinks transaction counts for use
+    inside the test suite; the benchmark binary runs full size. *)
+
+type outcome = {
+  id : string;                 (** "E1" ... "E10" *)
+  title : string;
+  claim : string;              (** the paper's claim, quoted/paraphrased *)
+  table : Ccdb_util.Table.t;
+  notes : string list;         (** measured verdict + caveats *)
+}
+
+val e1_system_time_vs_lambda : ?quick:bool -> unit -> outcome
+(** S vs arrival rate for the three pure protocols (section 5). *)
+
+val e2_system_time_vs_size : ?quick:bool -> unit -> outcome
+(** S vs transaction size st (section 5 / [10]). *)
+
+val e3_overheads_vs_lambda : ?quick:bool -> unit -> outcome
+(** Restarts, deadlocks, back-offs and messages per transaction vs load. *)
+
+val e4_single_item_writes : ?quick:bool -> unit -> outcome
+(** st = 1, write-only: 2PL cannot deadlock and beats T/O (section 1). *)
+
+val e5_heavy_small_txns : ?quick:bool -> unit -> outcome
+(** Heavy load, small st > 1: T/O beats 2PL (section 1). *)
+
+val e6_dynamic_vs_static : ?quick:bool -> unit -> outcome
+(** Min-STL dynamic selection vs every static choice across regimes. *)
+
+val e7_stl_validation : ?quick:bool -> unit -> outcome
+(** STL-predicted protocol ranking vs the measured ranking per regime. *)
+
+val e8_semilock_ablation : ?quick:bool -> unit -> outcome
+(** Semi-locks vs full locking for a 2PL+T/O mix (section 4.2). *)
+
+val e9_correctness_counters : ?quick:bool -> unit -> outcome
+(** Corollary 1 and Theorem 3 at scale: PA never restarts, 2PL-free mixes
+    never deadlock, everything serializable. *)
+
+val e10_preservation : ?quick:bool -> unit -> outcome
+(** unified(all-X) vs pure X on identical workloads (section 4.2). *)
+
+(** {2 Extension experiments}
+
+    X-experiments go beyond the paper's explicit claims but stay inside its
+    stated problem space: parameter (6) "deadlock detection time and cost",
+    and future-work items (2) "integration of other concurrency control
+    algorithms" and the analytical estimation option of section 5.2. *)
+
+val x1_detection_ablation : ?quick:bool -> unit -> outcome
+(** Centralized WFG scans (two intervals) vs Chandy-Misra-Haas edge-chasing
+    (two probe delays) on a deadlock-prone 2PL workload. *)
+
+val x2_thomas_write_rule : ?quick:bool -> unit -> outcome
+(** Basic T/O vs T/O + Thomas Write Rule on a write-heavy workload. *)
+
+val x3_analytic_selection : ?quick:bool -> unit -> outcome
+(** Design-time protocol choice from the analytical model (no observation)
+    vs the per-regime best and worst static choices. *)
+
+val x4_multiversion : ?quick:bool -> unit -> outcome
+(** Multiversion T/O vs Basic T/O on a read-heavy workload. *)
+
+val x5_conservative_to : ?quick:bool -> unit -> outcome
+(** Conservative T/O (restart-free, tick-driven) vs Basic T/O. *)
+
+val x6_reselection : ?quick:bool -> unit -> outcome
+(** Future-work item (4): restarted transactions re-run the selector. *)
+
+val x7_selection_criteria : ?quick:bool -> unit -> outcome
+(** Section 5.1's argument, tested: min-STL vs min-own-response-time. *)
+
+val all : ?quick:bool -> unit -> outcome list
+(** Every experiment in order (E1-E10 then X1-X7). *)
+
+val render : outcome -> string
+(** Header + claim + table + notes, ready to print. *)

@@ -1,0 +1,110 @@
+module Rt = Ccdb_protocols.Runtime
+
+type summary = {
+  committed : int;
+  duration : float;
+  mean_system_time : float;
+  p95_system_time : float;
+  throughput : float;
+  restarts_per_txn : float;
+  rejections : int;
+  deadlock_aborts : int;
+  prevention_aborts : int;
+  backoffs_per_txn : float;
+  messages_per_txn : float;
+  messages_by_kind : (string * int) list;
+  serializable : bool;
+  replica_consistent : bool;
+}
+
+let system_time_stats rt =
+  let stats = Ccdb_util.Stats.create () in
+  List.iter
+    (fun (c : Rt.completion) ->
+      Ccdb_util.Stats.add stats (c.executed_at -. c.submitted_at))
+    (Rt.completions rt);
+  stats
+
+let per_protocol_system_time rt =
+  let table = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Rt.completion) ->
+      let stats =
+        match Hashtbl.find_opt table c.txn.protocol with
+        | Some s -> s
+        | None ->
+          let s = Ccdb_util.Stats.create () in
+          Hashtbl.add table c.txn.protocol s;
+          s
+      in
+      Ccdb_util.Stats.add stats (c.executed_at -. c.submitted_at))
+    (Rt.completions rt);
+  Hashtbl.fold (fun p s acc -> (p, s) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Ccdb_model.Protocol.compare a b)
+
+let summarize rt =
+  let counters = Rt.counters rt in
+  let completions = Rt.completions rt in
+  let committed = counters.committed in
+  let stats = system_time_stats rt in
+  let duration =
+    List.fold_left
+      (fun acc (c : Rt.completion) -> Float.max acc c.executed_at)
+      0. completions
+  in
+  let per_txn n = if committed = 0 then Float.nan else float_of_int n /. float_of_int committed in
+  let logs = Ccdb_storage.Store.logs (Rt.store rt) in
+  { committed;
+    duration;
+    mean_system_time =
+      (if committed = 0 then Float.nan else Ccdb_util.Stats.mean stats);
+    p95_system_time =
+      (if committed = 0 then Float.nan else Ccdb_util.Stats.percentile stats 95.);
+    throughput =
+      (if duration <= 0. then Float.nan else float_of_int committed /. duration);
+    restarts_per_txn = per_txn counters.restarts;
+    rejections = counters.rejections;
+    deadlock_aborts = counters.deadlock_aborts;
+    prevention_aborts = counters.prevention_aborts;
+    backoffs_per_txn = per_txn counters.backoffs;
+    messages_per_txn = per_txn (Ccdb_sim.Net.messages_sent (Rt.net rt));
+    messages_by_kind = Ccdb_sim.Net.messages_by_kind (Rt.net rt);
+    serializable = Ccdb_serial.Check.conflict_serializable logs;
+    replica_consistent = Ccdb_serial.Check.replica_consistent (Rt.store rt) }
+
+type window = {
+  w_start : float;
+  w_end : float;
+  w_committed : int;
+  w_mean_system_time : float;
+  w_throughput : float;
+}
+
+let timeline ~bucket rt =
+  if bucket <= 0. then invalid_arg "Metrics.timeline: bucket <= 0";
+  let completions = Rt.completions rt in
+  match completions with
+  | [] -> []
+  | _ ->
+    let horizon =
+      List.fold_left
+        (fun acc (c : Rt.completion) -> Float.max acc c.submitted_at)
+        0. completions
+    in
+    let n_windows = 1 + int_of_float (horizon /. bucket) in
+    let sums = Array.make n_windows 0. in
+    let counts = Array.make n_windows 0 in
+    List.iter
+      (fun (c : Rt.completion) ->
+        let idx = int_of_float (c.submitted_at /. bucket) in
+        sums.(idx) <- sums.(idx) +. (c.executed_at -. c.submitted_at);
+        counts.(idx) <- counts.(idx) + 1)
+      completions;
+    List.init n_windows (fun i ->
+        { w_start = float_of_int i *. bucket;
+          w_end = float_of_int (i + 1) *. bucket;
+          w_committed = counts.(i);
+          w_mean_system_time =
+            (if counts.(i) = 0 then Float.nan
+             else sums.(i) /. float_of_int counts.(i));
+          w_throughput = float_of_int counts.(i) /. bucket })

@@ -1,0 +1,50 @@
+module Rt = Ccdb_protocols.Runtime
+
+type t = { mutable events : Rt.event list (* newest first *) }
+
+let attach rt =
+  let t = { events = [] } in
+  Rt.subscribe rt (fun e -> t.events <- e :: t.events);
+  t
+
+let events t = List.rev t.events
+let count t = List.length t.events
+
+let pp_event ppf (e : Rt.event) =
+  match e with
+  | Rt.Lock_granted { txn; protocol; op; item; site; at } ->
+    Format.fprintf ppf "%8.1f  grant    t%d [%a] %a(item%d@@s%d)" at txn
+      Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site
+  | Rt.Lock_released { txn; protocol; op; item; site; at; aborted; granted_at } ->
+    Format.fprintf ppf "%8.1f  %s  t%d [%a] %a(item%d@@s%d) held %.1f" at
+      (if aborted then "abort  " else "release")
+      txn Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site
+      (at -. granted_at)
+  | Rt.Txn_committed { txn; submitted_at; executed_at; restarts } ->
+    Format.fprintf ppf "%8.1f  commit   t%d [%a] after %d restarts (S=%.1f)"
+      executed_at txn.id Ccdb_model.Protocol.pp txn.protocol restarts
+      (executed_at -. submitted_at)
+  | Rt.Txn_restarted { txn; reason; at } ->
+    let why =
+      match reason with
+      | Rt.To_rejected op ->
+        Printf.sprintf "%s request rejected" (Ccdb_model.Op.to_string op)
+      | Rt.Deadlock_victim -> "deadlock victim"
+      | Rt.Prevention_kill -> "prevention kill"
+    in
+    Format.fprintf ppf "%8.1f  restart  t%d [%a] (%s)" at txn.id
+      Ccdb_model.Protocol.pp txn.protocol why
+  | Rt.Pa_backoff { txn; op; at } ->
+    Format.fprintf ppf "%8.1f  backoff  t%d %a request" at txn
+      Ccdb_model.Op.pp op
+
+let render ?limit t =
+  let evs = events t in
+  let evs =
+    match limit with
+    | Some n when List.length evs > n ->
+      let skip = List.length evs - n in
+      List.filteri (fun i _ -> i >= skip) evs
+    | Some _ | None -> evs
+  in
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_event) evs)

@@ -1,0 +1,20 @@
+(** Event tracing: record a runtime's event stream and render it as a
+    human-readable timeline.  Used by the examples and invaluable when
+    debugging protocol interleavings. *)
+
+type t
+
+val attach : Ccdb_protocols.Runtime.t -> t
+(** Subscribes immediately; events from then on are recorded. *)
+
+val events : t -> Ccdb_protocols.Runtime.event list
+(** Recorded events, oldest first. *)
+
+val render : ?limit:int -> t -> string
+(** One line per event ([limit] most recent when set), e.g.
+    {v
+      12.0  grant   t3 [2PL] w(x@s1)
+      47.3  commit  t3 after 0 restarts (S=47.3)
+    v} *)
+
+val count : t -> int

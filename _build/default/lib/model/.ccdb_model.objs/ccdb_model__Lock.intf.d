@@ -1,0 +1,1 @@
+lib/model/lock.mli: Format

@@ -1,0 +1,1 @@
+lib/model/precedence.ml: Format Int Timestamp

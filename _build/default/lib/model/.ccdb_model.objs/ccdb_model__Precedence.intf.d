@@ -1,0 +1,1 @@
+lib/model/precedence.mli: Format Timestamp

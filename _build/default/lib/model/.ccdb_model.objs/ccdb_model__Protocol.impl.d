@@ -1,0 +1,1 @@
+lib/model/protocol.ml: Format Int String

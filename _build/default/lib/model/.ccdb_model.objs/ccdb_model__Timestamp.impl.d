@@ -1,0 +1,1 @@
+lib/model/timestamp.ml: Format Int

@@ -1,0 +1,27 @@
+type mode = Rl | Wl | Srl | Swl
+
+let equal a b =
+  match a, b with
+  | Rl, Rl | Wl, Wl | Srl, Srl | Swl, Swl -> true
+  | (Rl | Wl | Srl | Swl), _ -> false
+
+let to_string = function Rl -> "RL" | Wl -> "WL" | Srl -> "SRL" | Swl -> "SWL"
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let is_write_mode = function Wl | Swl -> true | Rl | Srl -> false
+let is_semi = function Srl | Swl -> true | Rl | Wl -> false
+
+let conflicts a b = is_write_mode a || is_write_mode b
+
+let to_semi = function Rl -> Srl | Wl -> Swl | Srl -> Srl | Swl -> Swl
+
+type schedule = Normal | Pre_scheduled
+
+let schedule_equal a b =
+  match a, b with
+  | Normal, Normal | Pre_scheduled, Pre_scheduled -> true
+  | (Normal | Pre_scheduled), _ -> false
+
+let schedule_to_string = function
+  | Normal -> "normal"
+  | Pre_scheduled -> "pre-scheduled"

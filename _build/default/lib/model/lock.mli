@@ -1,0 +1,37 @@
+(** The four lock modes of the semi-lock protocol (section 4.2).
+
+    A datum is {e semi-locked} when the T/O protocol would consider it
+    unlocked but 2PL and PA must still treat it as locked.  Semi-read (SRL)
+    and semi-write (SWL) locks arise in two ways: a T/O read request is
+    granted an SRL directly, and an executed T/O transaction holding
+    pre-scheduled grants transforms its remaining RL/WL locks into SRL/SWL
+    while it waits for its grants to become normal. *)
+
+type mode =
+  | Rl   (** read lock *)
+  | Wl   (** write lock *)
+  | Srl  (** semi-read lock *)
+  | Swl  (** semi-write lock *)
+
+val equal : mode -> mode -> bool
+val to_string : mode -> string
+val pp : Format.formatter -> mode -> unit
+
+val conflicts : mode -> mode -> bool
+(** Two locks on the same item conflict iff at least one is WL or SWL. *)
+
+val is_semi : mode -> bool
+(** SRL or SWL. *)
+
+val is_write_mode : mode -> bool
+(** WL or SWL. *)
+
+val to_semi : mode -> mode
+(** RL -> SRL, WL -> SWL; semi modes are unchanged. *)
+
+(** Whether a granted lock is pre-scheduled (a conflicting lock granted
+    earlier is still held) or normal. *)
+type schedule = Normal | Pre_scheduled
+
+val schedule_equal : schedule -> schedule -> bool
+val schedule_to_string : schedule -> string

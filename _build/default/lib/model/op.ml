@@ -1,0 +1,14 @@
+type kind = Read | Write
+
+let equal a b =
+  match a, b with
+  | Read, Read | Write, Write -> true
+  | (Read | Write), _ -> false
+
+let to_string = function Read -> "r" | Write -> "w"
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let conflicts a b =
+  match a, b with
+  | Read, Read -> false
+  | Read, Write | Write, Read | Write, Write -> true

@@ -1,0 +1,13 @@
+(** Read/write operation kinds and the conflict relation.
+
+    Two operations conflict when they access the same data item and at least
+    one of them is a write (section 2 of the paper). *)
+
+type kind = Read | Write
+
+val equal : kind -> kind -> bool
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit
+
+val conflicts : kind -> kind -> bool
+(** [conflicts a b] for two operations on the {e same} data item. *)

@@ -1,0 +1,1 @@
+lib/protocols/cto_system.ml: Array Ccdb_model Ccdb_sim Ccdb_storage Hashtbl Int List Runtime

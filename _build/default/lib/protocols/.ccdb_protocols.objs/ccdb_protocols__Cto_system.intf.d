@@ -1,0 +1,1 @@
+lib/protocols/cto_system.mli: Ccdb_model Runtime

@@ -1,0 +1,1 @@
+lib/protocols/deadlock.ml: Ccdb_serial Ccdb_sim List

@@ -1,0 +1,1 @@
+lib/protocols/deadlock.mli: Ccdb_sim

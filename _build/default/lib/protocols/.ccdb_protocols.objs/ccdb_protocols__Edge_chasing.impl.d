@@ -1,0 +1,1 @@
+lib/protocols/edge_chasing.ml: Ccdb_sim Hashtbl List Option

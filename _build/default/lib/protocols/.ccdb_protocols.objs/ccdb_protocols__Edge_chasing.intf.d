@@ -1,0 +1,1 @@
+lib/protocols/edge_chasing.mli: Ccdb_sim

@@ -1,0 +1,1 @@
+lib/protocols/lock_table.ml: Ccdb_model List

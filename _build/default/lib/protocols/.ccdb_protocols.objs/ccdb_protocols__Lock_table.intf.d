@@ -1,0 +1,1 @@
+lib/protocols/lock_table.mli: Ccdb_model

@@ -1,0 +1,1 @@
+lib/protocols/mvto_queue.ml: Either Int List Option

@@ -1,0 +1,1 @@
+lib/protocols/mvto_queue.mli:

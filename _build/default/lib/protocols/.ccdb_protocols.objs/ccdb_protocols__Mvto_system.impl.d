@@ -1,0 +1,1 @@
+lib/protocols/mvto_system.ml: Ccdb_model Ccdb_sim Ccdb_storage Hashtbl List Mvto_queue Option Runtime

@@ -1,0 +1,1 @@
+lib/protocols/mvto_system.mli: Ccdb_model Runtime

@@ -1,0 +1,1 @@
+lib/protocols/pa_queue.ml: Ccdb_model List

@@ -1,0 +1,1 @@
+lib/protocols/pa_queue.mli: Ccdb_model

@@ -1,0 +1,1 @@
+lib/protocols/pa_system.ml: Ccdb_model Ccdb_sim Ccdb_storage Hashtbl List Pa_queue Runtime

@@ -1,0 +1,1 @@
+lib/protocols/pa_system.mli: Ccdb_model Runtime

@@ -1,0 +1,1 @@
+lib/protocols/runtime.mli: Ccdb_model Ccdb_sim Ccdb_storage Ccdb_util

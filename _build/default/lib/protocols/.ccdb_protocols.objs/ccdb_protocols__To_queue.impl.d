@@ -1,0 +1,1 @@
+lib/protocols/to_queue.ml: Ccdb_model List

@@ -1,0 +1,1 @@
+lib/protocols/to_queue.mli: Ccdb_model

@@ -1,0 +1,1 @@
+lib/protocols/to_system.ml: Ccdb_model Ccdb_sim Ccdb_storage Hashtbl List Runtime To_queue

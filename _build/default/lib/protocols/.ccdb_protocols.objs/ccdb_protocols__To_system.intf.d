@@ -1,0 +1,1 @@
+lib/protocols/to_system.mli: Ccdb_model Runtime

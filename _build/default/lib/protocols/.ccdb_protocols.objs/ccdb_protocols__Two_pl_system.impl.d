@@ -1,0 +1,1 @@
+lib/protocols/two_pl_system.ml: Ccdb_model Ccdb_sim Ccdb_storage Deadlock Edge_chasing Hashtbl Int List Lock_table Runtime

@@ -1,0 +1,1 @@
+lib/protocols/two_pl_system.mli: Ccdb_model Deadlock Runtime

@@ -1,0 +1,78 @@
+(** Deadlock detection for systems that admit 2PL waiting cycles.
+
+    Two detectors are provided, matching the mechanisms the paper cites:
+
+    - {b Centralized}: a detector process at a designated site periodically
+      collects the wait-for graph.  Each scan costs one report message per
+      site plus one abort message per victim, and the abort takes effect only
+      after the simulated network delay — so detection time and cost (the
+      paper's parameter (6)) are both modelled.
+    - {b Edge-chasing} (Chandy-Misra-Haas style, {!Probes}): a transaction
+      blocked longer than a threshold sends a probe along wait-for edges;
+      a probe returning to its initiator proves a cycle.  Exposed as a pure
+      state machine driven by the owning system. *)
+
+(** How a system detects 2PL deadlocks. *)
+type detection =
+  | Centralized of { interval : float; detector_site : int }
+      (** periodic wait-for-graph collection at one site *)
+  | Edge_chasing of { probe_delay : float }
+      (** Chandy-Misra-Haas probes ({!Edge_chasing}) *)
+
+val default_detection : detection
+(** [Centralized { interval = 100.; detector_site = 0 }]. *)
+
+type victim_choice = int list -> int option
+(** Picks the victim from a witness cycle; [None] aborts nothing (used when
+    a stale cycle no longer holds). *)
+
+val youngest : int list -> int option
+(** Largest transaction id in the cycle (ids increase with arrival, so this
+    is the youngest transaction). *)
+
+type t
+
+val create_centralized :
+  engine:Ccdb_sim.Engine.t ->
+  net:Ccdb_sim.Net.t ->
+  interval:float ->
+  detector_site:int ->
+  edges:(unit -> (int * int) list) ->
+  choose_victim:victim_choice ->
+  victim_site:(int -> int option) ->
+  abort:(int -> unit) ->
+  t
+(** [edges] snapshots the current wait-for graph; [victim_site] maps a
+    transaction to its issuing site ([None] if it no longer exists);
+    [abort v] is invoked at the victim's site after the abort message
+    arrives.  The snapshot may be stale by then — the owning system must
+    ignore aborts for transactions that are no longer waiting. *)
+
+val start : t -> unit
+(** Schedules the periodic scans. *)
+
+val stop : t -> unit
+(** No further scans fire after the current instant. *)
+
+val scans : t -> int
+val cycles_found : t -> int
+
+(** Chandy-Misra-Haas edge-chasing probes (AND model), as a pure state
+    machine: the caller owns delivery of probes between transactions. *)
+module Probes : sig
+  type probe = { initiator : int; sender : int; receiver : int }
+
+  val initiate : blocked:int -> waits_on:int list -> probe list
+  (** Probes a blocked transaction sends to everything it waits on. *)
+
+  val on_receive :
+    probe ->
+    receiver_blocked:bool ->
+    waits_on:int list ->
+    [ `Deadlock of int  (** cycle detected; the initiator id *)
+    | `Forward of probe list
+    | `Ignore ]
+  (** CMH propagation rule: a blocked receiver forwards the probe along its
+      own wait-for edges; a probe whose initiator equals the receiver proves
+      a deadlock; an unblocked receiver discards the probe. *)
+end

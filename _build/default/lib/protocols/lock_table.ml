@@ -1,0 +1,75 @@
+type entry = {
+  txn : int;
+  attempt : int;
+  op : Ccdb_model.Op.kind;
+  arrival : int;
+  mutable granted : bool;
+}
+
+type t = {
+  mutable queue : entry list; (* FCFS order, oldest first *)
+  mutable next_arrival : int;
+}
+
+let create () = { queue = []; next_arrival = 0 }
+
+let request t ~txn ~attempt ~op =
+  let entry = { txn; attempt; op; arrival = t.next_arrival; granted = false } in
+  t.next_arrival <- t.next_arrival + 1;
+  t.queue <- t.queue @ [ entry ];
+  entry
+
+let grantable earlier entry =
+  List.for_all
+    (fun e -> e.txn = entry.txn || not (Ccdb_model.Op.conflicts e.op entry.op))
+    earlier
+
+let grant_ready t =
+  let newly = ref [] in
+  let rec scan earlier = function
+    | [] -> ()
+    | e :: rest ->
+      if (not e.granted) && grantable earlier e then begin
+        e.granted <- true;
+        newly := e :: !newly
+      end;
+      scan (e :: earlier) rest
+  in
+  scan [] t.queue;
+  List.rev !newly
+
+let release t ~txn ~attempt =
+  let found = ref None in
+  t.queue <-
+    List.filter
+      (fun e ->
+        if e.txn = txn && e.attempt = attempt && !found = None then begin
+          found := Some e;
+          false
+        end
+        else true)
+      t.queue;
+  !found
+
+let entries t = t.queue
+
+let waits_for t =
+  let edges = ref [] in
+  let rec scan earlier = function
+    | [] -> ()
+    | e :: rest ->
+      if not e.granted then
+        List.iter
+          (fun e' ->
+            if e'.txn <> e.txn && Ccdb_model.Op.conflicts e'.op e.op then
+              edges := (e.txn, e'.txn) :: !edges)
+          earlier;
+      scan (e :: earlier) rest
+  in
+  scan [] t.queue;
+  List.rev !edges
+
+let holders t =
+  List.filter_map
+    (fun e -> if e.granted then Some (e.txn, e.op) else None)
+    t.queue

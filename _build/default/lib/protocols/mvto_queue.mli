@@ -1,0 +1,56 @@
+(** Multiversion Timestamp Ordering scheduler for one physical copy.
+
+    The multiversion member of the timestamp family the paper's section 5
+    comparison (via Lin & Nolte [10]) includes.  Every committed write
+    creates a new version tagged with its transaction's timestamp; a read
+    with timestamp [ts] returns the version written by the largest write
+    timestamp [<= ts] — so {e reads are never rejected}, the advantage over
+    Basic T/O.  A read may still have to {e wait} when the version it must
+    observe is a buffered prewrite that has not committed yet.
+
+    Writes can still be rejected: inserting a version at [ts] is illegal
+    when some read with timestamp [rts > ts] has already observed the
+    previous version (interval conflict [wts_prev < ts < rts]); accepting it
+    would retroactively invalidate that read.
+
+    The queue owns the version chain (timestamp, value, committed flag) and
+    the per-version maximum read timestamp.  The initial version is
+    [(ts = 0, value = 0)], committed. *)
+
+type read_result =
+  | Value of int        (** the version to read, committed *)
+  | Wait                (** the governing version is still uncommitted *)
+
+type write_verdict =
+  | W_accepted
+  | W_rejected  (** interval conflict with an already-performed read *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> txn:int -> ts:int -> read_result
+(** Never rejects.  On [Value v] the read is performed (the version's max
+    read timestamp advances); on [Wait] the read is parked and will be
+    answered by {!commit_write}/{!abort} draining (see {!drain_reads}). *)
+
+val prewrite : t -> txn:int -> ts:int -> write_verdict
+(** Buffers an uncommitted version at [ts] when legal. *)
+
+val commit_write : t -> txn:int -> value:int -> unit
+(** Fills in the buffered version's value and commits it. *)
+
+val abort : t -> txn:int -> unit
+(** Withdraws the transaction's uncommitted version and unparks any reads
+    that were waiting on it; also forgets parked reads of the transaction. *)
+
+val drain_reads : t -> (int * int * int) list
+(** Parked reads that became answerable: [(txn, ts, value)], in timestamp
+    order.  Call after {!commit_write} or {!abort}. *)
+
+val latest_committed : t -> int * int
+(** [(ts, value)] of the newest committed version (final database state). *)
+
+val versions : t -> (int * int option * bool) list
+(** [(ts, value, committed)] oldest first; [None] value = pending prewrite
+    (tests / diagnostics). *)

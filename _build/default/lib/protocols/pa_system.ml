@@ -1,0 +1,227 @@
+type config = { backoff_interval : int }
+
+let default_config = { backoff_interval = 8 }
+
+type payload_fn = (int -> int) -> (int * int) list
+
+type slot = Waiting | Granted of int | Backed of int
+
+type phase = Negotiating | Computing | Done
+
+type txn_state = {
+  txn : Ccdb_model.Txn.t;
+  payload : payload_fn option;
+  submitted_at : float;
+  mutable ts : int;            (* current timestamp (TS, then TS') *)
+  mutable backed_off : bool;   (* already in phase 2 *)
+  mutable phase : phase;
+  mutable slots : ((int * int) * slot) list;
+  mutable reads : (int * int) list;
+}
+
+type t = {
+  rt : Runtime.t;
+  config : config;
+  queues : (int * int, Pa_queue.t) Hashtbl.t;
+  states : (int, txn_state) Hashtbl.t;
+  mutable active : int;
+}
+
+let copies_of rt (txn : Ccdb_model.Txn.t) =
+  let catalog = Runtime.catalog rt in
+  let reads =
+    List.map
+      (fun item ->
+        (item, Ccdb_storage.Catalog.read_site catalog ~preferred:txn.site item,
+         Ccdb_model.Op.Read))
+      txn.read_set
+  in
+  let writes =
+    List.concat_map
+      (fun item ->
+        List.map
+          (fun site -> (item, site, Ccdb_model.Op.Write))
+          (Ccdb_storage.Catalog.copies catalog item))
+      txn.write_set
+  in
+  reads @ writes
+
+let queue t copy =
+  match Hashtbl.find_opt t.queues copy with
+  | Some q -> q
+  | None ->
+    let q = Pa_queue.create () in
+    Hashtbl.add t.queues copy q;
+    q
+
+let set_slot st copy slot =
+  st.slots <- List.map (fun (c, s) -> if c = copy then (c, slot) else (c, s)) st.slots
+
+(* --- grant pump -------------------------------------------------------- *)
+
+let rec pump t ((item, site) as copy) =
+  let q = queue t copy in
+  let newly = Pa_queue.grant_ready q ~now:(Runtime.now t.rt) in
+  let store = Runtime.store t.rt in
+  List.iter
+    (fun (e : Pa_queue.entry) ->
+      Runtime.emit t.rt
+        (Runtime.Lock_granted
+           { txn = e.txn; protocol = Ccdb_model.Protocol.Pa; op = e.op; item;
+             site; at = Runtime.now t.rt });
+      let value = Ccdb_storage.Store.read store ~item ~site in
+      let ts = e.ts in
+      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:e.site
+        ~kind:"pa-grant" (fun () -> on_grant t e.txn ~ts copy value))
+    newly
+
+and on_grant t txn_id ~ts copy value =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Negotiating then begin
+      set_slot st copy (Granted value);
+      check_negotiation t st
+    end
+
+and on_backoff t txn_id ~ts ~op copy ts' =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Negotiating then begin
+      Runtime.emit t.rt
+        (Runtime.Pa_backoff { txn = txn_id; op; at = Runtime.now t.rt });
+      set_slot st copy (Backed ts');
+      check_negotiation t st
+    end
+
+and check_negotiation t st =
+  let undecided = List.exists (fun (_, s) -> s = Waiting) st.slots in
+  if not undecided then begin
+    let backs =
+      List.filter_map
+        (fun (_, s) -> match s with Backed ts' -> Some ts' | _ -> None)
+        st.slots
+    in
+    match backs with
+    | [] -> start_compute t st
+    | _ :: _ ->
+      (* phase 2: agree on TS' = max over the back-off timestamps and update
+         every queue; everything re-enters Waiting *)
+      assert (not st.backed_off);
+      st.backed_off <- true;
+      let ts' = List.fold_left max st.ts backs in
+      st.ts <- ts';
+      st.slots <- List.map (fun (c, _) -> (c, Waiting)) st.slots;
+      st.reads <- [];
+      List.iter
+        (fun ((item, site), _) ->
+          Ccdb_sim.Net.send (Runtime.net t.rt) ~src:st.txn.site ~dst:site
+            ~kind:"pa-update" (fun () ->
+              (match Pa_queue.update_ts (queue t (item, site)) ~txn:st.txn.id ~ts:ts' with
+               | `Moved | `Revoked | `Absent -> ());
+              pump t (item, site)))
+        st.slots
+  end
+
+and start_compute t st =
+  (* harvest the read values from the grant slots *)
+  let copies = copies_of t.rt st.txn in
+  List.iter
+    (fun (item, site, _) ->
+      match List.assoc_opt (item, site) st.slots with
+      | Some (Granted v) ->
+        if not (List.mem_assoc item st.reads) then
+          st.reads <- (item, v) :: st.reads
+      | Some (Waiting | Backed _) | None -> assert false)
+    copies;
+  st.phase <- Computing;
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt) ~after:st.txn.compute_time
+       (fun () -> finish t st))
+
+and finish t st =
+  let txn = st.txn in
+  let read_value item =
+    match List.assoc_opt item st.reads with Some v -> v | None -> 0
+  in
+  let writes =
+    match st.payload with
+    | Some f -> f read_value
+    | None -> List.map (fun item -> (item, txn.id)) txn.write_set
+  in
+  let value_for item =
+    match List.assoc_opt item writes with Some v -> v | None -> txn.id
+  in
+  st.phase <- Done;
+  let executed_at = Runtime.now t.rt in
+  List.iter
+    (fun (item, site, op) ->
+      let wvalue =
+        match op with
+        | Ccdb_model.Op.Write -> Some (value_for item)
+        | Ccdb_model.Op.Read -> None
+      in
+      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+        ~kind:"pa-release" (fun () -> on_release t (item, site) txn.id op wvalue))
+    (copies_of t.rt txn);
+  Runtime.emit t.rt
+    (Runtime.Txn_committed
+       { txn; submitted_at = st.submitted_at; executed_at; restarts = 0 });
+  Hashtbl.remove t.states txn.id;
+  t.active <- t.active - 1
+
+and on_release t ((item, site) as copy) txn_id op wvalue =
+  match Pa_queue.release (queue t copy) ~txn:txn_id with
+  | None -> ()
+  | Some entry ->
+    let store = Runtime.store t.rt in
+    let at = Runtime.now t.rt in
+    (* PA operations are implemented at lock release (section 4.3) *)
+    (match op, wvalue with
+     | Ccdb_model.Op.Write, Some value ->
+       Ccdb_storage.Store.apply_write store ~item ~site ~txn:txn_id ~value ~at
+     | Ccdb_model.Op.Write, None -> assert false
+     | Ccdb_model.Op.Read, _ ->
+       Ccdb_storage.Store.log_read store ~item ~site ~txn:txn_id ~at);
+    Runtime.emit t.rt
+      (Runtime.Lock_released
+         { txn = txn_id; protocol = Ccdb_model.Protocol.Pa; op; item; site;
+           granted_at = entry.granted_at; at; aborted = false });
+    pump t copy
+
+(* --- submission --------------------------------------------------------- *)
+
+let submit t ?payload txn =
+  if Hashtbl.mem t.states txn.Ccdb_model.Txn.id then
+    invalid_arg "Pa_system.submit: duplicate transaction id";
+  let ts = Ccdb_model.Timestamp.Source.next (Runtime.ts_source t.rt) in
+  let copies = copies_of t.rt txn in
+  let st =
+    { txn; payload; submitted_at = Runtime.now t.rt; ts; backed_off = false;
+      phase = Negotiating;
+      slots = List.map (fun (item, site, _) -> ((item, site), Waiting)) copies;
+      reads = [] }
+  in
+  Hashtbl.add t.states txn.id st;
+  t.active <- t.active + 1;
+  let interval = t.config.backoff_interval in
+  List.iter
+    (fun (item, site, op) ->
+      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+        ~kind:"pa-req" (fun () ->
+          let q = queue t (item, site) in
+          (match Pa_queue.request q ~txn:txn.id ~site:txn.site ~ts ~interval ~op with
+           | Pa_queue.Accepted -> ()
+           | Pa_queue.Backoff ts' ->
+             Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
+               ~kind:"pa-backoff" (fun () ->
+                 on_backoff t txn.id ~ts ~op (item, site) ts'));
+          pump t (item, site)))
+    copies
+
+let create ?(config = default_config) rt =
+  { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
+    active = 0 }
+
+let active t = t.active

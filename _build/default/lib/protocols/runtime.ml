@@ -1,0 +1,122 @@
+type restart_reason =
+  | To_rejected of Ccdb_model.Op.kind
+  | Deadlock_victim
+  | Prevention_kill
+
+type event =
+  | Lock_granted of {
+      txn : int;
+      protocol : Ccdb_model.Protocol.t;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Lock_released of {
+      txn : int;
+      protocol : Ccdb_model.Protocol.t;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      granted_at : float;
+      at : float;
+      aborted : bool;
+    }
+  | Txn_committed of {
+      txn : Ccdb_model.Txn.t;
+      submitted_at : float;
+      executed_at : float;
+      restarts : int;
+    }
+  | Txn_restarted of {
+      txn : Ccdb_model.Txn.t;
+      reason : restart_reason;
+      at : float;
+    }
+  | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
+
+type completion = {
+  txn : Ccdb_model.Txn.t;
+  submitted_at : float;
+  executed_at : float;
+  restarts : int;
+}
+
+type counters = {
+  mutable committed : int;
+  mutable restarts : int;
+  mutable rejections : int;
+  mutable deadlock_aborts : int;
+  mutable prevention_aborts : int;
+  mutable backoffs : int;
+}
+
+type t = {
+  engine : Ccdb_sim.Engine.t;
+  net : Ccdb_sim.Net.t;
+  rng : Ccdb_util.Rng.t;
+  catalog : Ccdb_storage.Catalog.t;
+  store : Ccdb_storage.Store.t;
+  ts_source : Ccdb_model.Timestamp.Source.t;
+  counters : counters;
+  mutable completions : completion list; (* newest first *)
+  mutable listeners : (event -> unit) list;
+}
+
+let create ?(seed = 42) ~net_config ~catalog () =
+  if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
+    invalid_arg "Runtime.create: catalog/network site count mismatch";
+  let rng = Ccdb_util.Rng.create ~seed in
+  let engine = Ccdb_sim.Engine.create () in
+  let net_rng = Ccdb_util.Rng.split rng in
+  let net = Ccdb_sim.Net.create engine net_rng net_config in
+  { engine;
+    net;
+    rng;
+    catalog;
+    store = Ccdb_storage.Store.create catalog;
+    ts_source = Ccdb_model.Timestamp.Source.create ();
+    counters =
+      { committed = 0; restarts = 0; rejections = 0; deadlock_aborts = 0;
+        prevention_aborts = 0; backoffs = 0 };
+    completions = [];
+    listeners = [] }
+
+let engine t = t.engine
+let net t = t.net
+let rng t = t.rng
+let catalog t = t.catalog
+let store t = t.store
+let ts_source t = t.ts_source
+let now t = Ccdb_sim.Engine.now t.engine
+
+let subscribe t f = t.listeners <- f :: t.listeners
+
+let emit t event =
+  (match event with
+   | Txn_committed { txn; submitted_at; executed_at; restarts } ->
+     t.counters.committed <- t.counters.committed + 1;
+     t.completions <-
+       { txn; submitted_at; executed_at; restarts } :: t.completions
+   | Txn_restarted { reason; _ } ->
+     t.counters.restarts <- t.counters.restarts + 1;
+     (match reason with
+      | To_rejected _ -> t.counters.rejections <- t.counters.rejections + 1
+      | Deadlock_victim ->
+        t.counters.deadlock_aborts <- t.counters.deadlock_aborts + 1
+      | Prevention_kill ->
+        t.counters.prevention_aborts <- t.counters.prevention_aborts + 1)
+   | Pa_backoff _ -> t.counters.backoffs <- t.counters.backoffs + 1
+   | Lock_granted _ | Lock_released _ -> ());
+  List.iter (fun f -> f event) t.listeners
+
+let counters t = t.counters
+
+let completions t = List.rev t.completions
+
+let run ?until t = Ccdb_sim.Engine.run ?until t.engine
+
+let quiesce ?(max_events = 10_000_000) t =
+  Ccdb_sim.Engine.run ~max_events t.engine;
+  if Ccdb_sim.Engine.pending t.engine > 0 then
+    failwith "Runtime.quiesce: event budget exhausted (possible livelock)"

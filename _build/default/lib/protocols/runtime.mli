@@ -1,0 +1,107 @@
+(** Shared execution context for every concurrency-control system.
+
+    A runtime bundles the simulation engine, the network, storage, the
+    timestamp source and an event stream.  All four systems (pure 2PL, pure
+    T/O, pure PA, and the unified engine in [core]) run against this same
+    substrate, so their timing and message counts are directly comparable. *)
+
+type restart_reason =
+  | To_rejected of Ccdb_model.Op.kind
+      (** a Basic T/O request arrived out of timestamp order *)
+  | Deadlock_victim
+      (** chosen to break a 2PL wait-for cycle *)
+  | Prevention_kill
+      (** killed by a deadlock-prevention policy (wait-die's self-abort or
+          wound-wait's wound) *)
+
+(** Everything observable about a run, emitted as it happens. *)
+type event =
+  | Lock_granted of {
+      txn : int;
+      protocol : Ccdb_model.Protocol.t;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Lock_released of {
+      txn : int;
+      protocol : Ccdb_model.Protocol.t;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      granted_at : float;
+      at : float;
+      aborted : bool;
+    }
+  | Txn_committed of {
+      txn : Ccdb_model.Txn.t;
+      submitted_at : float;
+      executed_at : float;  (** end of the transaction's last compute phase *)
+      restarts : int;
+    }
+  | Txn_restarted of {
+      txn : Ccdb_model.Txn.t;
+      reason : restart_reason;
+      at : float;
+    }
+  | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
+      (** a PA request received a back-off timestamp *)
+
+type completion = {
+  txn : Ccdb_model.Txn.t;
+  submitted_at : float;
+  executed_at : float;
+  restarts : int;
+}
+
+(** Aggregate counters maintained from the event stream. *)
+type counters = {
+  mutable committed : int;
+  mutable restarts : int;
+  mutable rejections : int;  (** T/O rejects (one per restart caused) *)
+  mutable deadlock_aborts : int;
+  mutable prevention_aborts : int;
+      (** wound-wait / wait-die kills (see {!Two_pl_system.prevention}) *)
+  mutable backoffs : int;    (** PA per-request back-off events *)
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  net_config:Ccdb_sim.Net.config ->
+  catalog:Ccdb_storage.Catalog.t ->
+  unit ->
+  t
+(** Builds engine + network + store.  [seed] defaults to 42.
+    @raise Invalid_argument if the catalog's site count differs from the
+    network's. *)
+
+val engine : t -> Ccdb_sim.Engine.t
+val net : t -> Ccdb_sim.Net.t
+val rng : t -> Ccdb_util.Rng.t
+val catalog : t -> Ccdb_storage.Catalog.t
+val store : t -> Ccdb_storage.Store.t
+val ts_source : t -> Ccdb_model.Timestamp.Source.t
+
+val now : t -> float
+
+val subscribe : t -> (event -> unit) -> unit
+(** Registers an event listener (called synchronously on [emit]). *)
+
+val emit : t -> event -> unit
+(** Systems publish their events here; counters and the completion list are
+    updated automatically. *)
+
+val counters : t -> counters
+
+val completions : t -> completion list
+(** Committed transactions, oldest first. *)
+
+val run : ?until:float -> t -> unit
+(** Drives the engine (see {!Ccdb_sim.Engine.run}). *)
+
+val quiesce : ?max_events:int -> t -> unit
+(** Runs until no events remain ([max_events] guards against livelock;
+    default 10_000_000).  @raise Failure if the budget is exhausted. *)

@@ -1,0 +1,98 @@
+type verdict = Accepted | Rejected | Ignored
+
+type performed = {
+  txn : int;
+  ts : int;
+  op : Ccdb_model.Op.kind;
+  value : int option;
+}
+
+type entry = {
+  e_txn : int;
+  e_ts : int;
+  e_op : Ccdb_model.Op.kind;
+  mutable e_value : int option; (* committed value of a prewrite *)
+}
+
+type t = {
+  thomas_write_rule : bool;
+  mutable entries : entry list; (* pending only, sorted by timestamp *)
+  mutable r_ts : int;
+  mutable w_ts : int;
+}
+
+let create ?(thomas_write_rule = false) () =
+  { thomas_write_rule; entries = []; r_ts = -1; w_ts = -1 }
+
+let r_ts t = t.r_ts
+let w_ts t = t.w_ts
+
+let insert_sorted entries e =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest -> if e.e_ts < x.e_ts then e :: x :: rest else x :: go rest
+  in
+  go entries
+
+let request t ~txn ~ts ~op =
+  if
+    List.exists
+      (fun e -> e.e_txn = txn && Ccdb_model.Op.equal e.e_op op)
+      t.entries
+  then invalid_arg "To_queue.request: duplicate request";
+  let verdict =
+    match op with
+    | Ccdb_model.Op.Read -> if ts <= t.w_ts then Rejected else Accepted
+    | Ccdb_model.Op.Write ->
+      if ts <= t.r_ts then Rejected
+      else if ts <= t.w_ts then
+        if t.thomas_write_rule then Ignored else Rejected
+      else Accepted
+  in
+  if verdict <> Accepted then verdict
+  else begin
+    t.entries <- insert_sorted t.entries { e_txn = txn; e_ts = ts; e_op = op; e_value = None };
+    Accepted
+  end
+
+let commit_write t ~txn ~value =
+  List.iter
+    (fun e ->
+      if e.e_txn = txn && Ccdb_model.Op.equal e.e_op Ccdb_model.Op.Write then
+        e.e_value <- Some value)
+    t.entries
+
+let abort t ~txn = t.entries <- List.filter (fun e -> e.e_txn <> txn) t.entries
+
+let perform_ready t =
+  let performed = ref [] in
+  (* one pass in timestamp order: an entry can perform only if nothing kept
+     so far blocks it, so performing earlier entries can enable later ones
+     within the same pass *)
+  let rec scan kept_write kept_any = function
+    | [] -> []
+    | e :: rest ->
+      let performable =
+        match e.e_op with
+        | Ccdb_model.Op.Read -> not kept_write
+        | Ccdb_model.Op.Write -> (not kept_any) && e.e_value <> None
+      in
+      if performable then begin
+        (match e.e_op with
+         | Ccdb_model.Op.Read -> t.r_ts <- max t.r_ts e.e_ts
+         | Ccdb_model.Op.Write -> t.w_ts <- max t.w_ts e.e_ts);
+        performed :=
+          { txn = e.e_txn; ts = e.e_ts; op = e.e_op; value = e.e_value }
+          :: !performed;
+        scan kept_write kept_any rest
+      end
+      else
+        e
+        :: scan
+             (kept_write || Ccdb_model.Op.equal e.e_op Ccdb_model.Op.Write)
+             true rest
+  in
+  t.entries <- scan false false t.entries;
+  List.rev !performed
+
+let pending t = List.length t.entries

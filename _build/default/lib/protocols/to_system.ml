@@ -1,0 +1,297 @@
+type config = { restart_delay : float; thomas_write_rule : bool }
+
+let default_config = { restart_delay = 50.; thomas_write_rule = false }
+
+type payload_fn = (int -> int) -> (int * int) list
+
+type phase = Reading | Computing | Prewriting | Done
+
+type txn_state = {
+  txn : Ccdb_model.Txn.t;
+  payload : payload_fn option;
+  submitted_at : float;
+  mutable ts : int;
+  mutable restarts : int;
+  mutable phase : phase;
+  mutable awaiting : (int * int) list; (* copies with outstanding value/ack *)
+  mutable reads : (int * int) list;
+  mutable write_values : (int * int) list;
+  mutable ignored : (int * int) list; (* dead writes under the TWR *)
+}
+
+type t = {
+  rt : Runtime.t;
+  config : config;
+  queues : (int * int, To_queue.t) Hashtbl.t;
+  states : (int, txn_state) Hashtbl.t;
+  mutable active : int;
+}
+
+let read_copies rt (txn : Ccdb_model.Txn.t) =
+  List.map
+    (fun item ->
+      (item,
+       Ccdb_storage.Catalog.read_site (Runtime.catalog rt) ~preferred:txn.site
+         item))
+    txn.read_set
+
+let write_copies rt (txn : Ccdb_model.Txn.t) =
+  List.concat_map
+    (fun item ->
+      List.map
+        (fun site -> (item, site))
+        (Ccdb_storage.Catalog.copies (Runtime.catalog rt) item))
+    txn.write_set
+
+let queue t copy =
+  match Hashtbl.find_opt t.queues copy with
+  | Some q -> q
+  | None ->
+    let q = To_queue.create ~thomas_write_rule:t.config.thomas_write_rule () in
+    Hashtbl.add t.queues copy q;
+    q
+
+(* Implement everything the queue made performable: log the reads and send
+   their values home, apply the committed writes. *)
+let rec drain t ((item, site) as copy) =
+  let q = queue t copy in
+  let performed = To_queue.perform_ready q in
+  let store = Runtime.store t.rt in
+  List.iter
+    (fun (p : To_queue.performed) ->
+      let at = Runtime.now t.rt in
+      Runtime.emit t.rt
+        (Runtime.Lock_granted
+           { txn = p.txn; protocol = Ccdb_model.Protocol.T_o; op = p.op; item;
+             site; at });
+      match p.op, p.value with
+      | Ccdb_model.Op.Write, Some value ->
+        Ccdb_storage.Store.apply_write store ~item ~site ~txn:p.txn ~value ~at;
+        Runtime.emit t.rt
+          (Runtime.Lock_released
+             { txn = p.txn; protocol = Ccdb_model.Protocol.T_o;
+               op = Ccdb_model.Op.Write; item; site; granted_at = at; at;
+               aborted = false });
+        (* the write phase of the issuing transaction completes only when
+           its writes have been applied: acknowledge *)
+        (match Hashtbl.find_opt t.states p.txn with
+         | None -> ()
+         | Some st ->
+           Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:st.txn.site
+             ~kind:"to-wack" (fun () ->
+               on_write_applied t p.txn ~ts:p.ts copy))
+      | Ccdb_model.Op.Write, None -> assert false
+      | Ccdb_model.Op.Read, _ ->
+        Ccdb_storage.Store.log_read store ~item ~site ~txn:p.txn ~at;
+        let value = Ccdb_storage.Store.read store ~item ~site in
+        (match Hashtbl.find_opt t.states p.txn with
+         | None -> ()
+         | Some st ->
+           Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:st.txn.site
+             ~kind:"to-val" (fun () ->
+               on_read_value t p.txn ~ts:p.ts copy value)))
+    performed
+
+and on_read_value t txn_id ~ts copy value =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Reading && List.mem copy st.awaiting then begin
+      st.awaiting <- List.filter (fun c -> c <> copy) st.awaiting;
+      let item = fst copy in
+      if not (List.mem_assoc item st.reads) then
+        st.reads <- (item, value) :: st.reads;
+      if st.awaiting = [] then start_compute t st
+    end
+
+and start_compute t st =
+  st.phase <- Computing;
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt) ~after:st.txn.compute_time
+       (fun () -> send_prewrites t st))
+
+and send_prewrites t st =
+  let txn = st.txn in
+  let read_value item =
+    match List.assoc_opt item st.reads with Some v -> v | None -> 0
+  in
+  st.write_values <-
+    (match st.payload with
+     | Some f -> f read_value
+     | None -> List.map (fun item -> (item, txn.id)) txn.write_set);
+  if txn.write_set = [] then commit t st
+  else begin
+    st.phase <- Prewriting;
+    let copies = write_copies t.rt txn in
+    st.awaiting <- copies;
+    let ts = st.ts in
+    List.iter
+      (fun ((_item, site) as copy) ->
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"to-prewrite" (fun () ->
+            let q = queue t copy in
+            match To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Write with
+            | To_queue.Rejected ->
+              Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
+                ~kind:"to-reject" (fun () ->
+                  on_reject t txn.id ~ts copy Ccdb_model.Op.Write)
+            | To_queue.Accepted ->
+              Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
+                ~kind:"to-ack" (fun () -> on_prewrite_ack t txn.id ~ts copy)
+            | To_queue.Ignored ->
+              (* Thomas Write Rule: the write is dead; acknowledge and mark
+                 the copy as never needing a commit or an apply ack *)
+              Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
+                ~kind:"to-ack" (fun () -> on_prewrite_ignored t txn.id ~ts copy)))
+      copies
+  end
+
+and on_prewrite_ignored t txn_id ~ts copy =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Prewriting && List.mem copy st.awaiting
+    then begin
+      st.ignored <- copy :: st.ignored;
+      st.awaiting <- List.filter (fun c -> c <> copy) st.awaiting;
+      if st.awaiting = [] then commit t st
+    end
+
+and on_prewrite_ack t txn_id ~ts copy =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Prewriting && List.mem copy st.awaiting
+    then begin
+      st.awaiting <- List.filter (fun c -> c <> copy) st.awaiting;
+      if st.awaiting = [] then commit t st
+    end
+
+and commit t st =
+  let txn = st.txn in
+  st.phase <- Done;
+  let value_for item =
+    match List.assoc_opt item st.write_values with
+    | Some v -> v
+    | None -> txn.id
+  in
+  let copies =
+    List.filter
+      (fun copy -> not (List.mem copy st.ignored))
+      (write_copies t.rt txn)
+  in
+  st.awaiting <- copies;
+  List.iter
+    (fun ((item, site) as copy) ->
+      let value = value_for item in
+      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+        ~kind:"to-commit" (fun () ->
+          To_queue.commit_write (queue t copy) ~txn:txn.id ~value;
+          drain t copy))
+    copies;
+  if copies = [] then finalize t st
+
+and on_write_applied t txn_id ~ts copy =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && st.phase = Done && List.mem copy st.awaiting then begin
+      st.awaiting <- List.filter (fun c -> c <> copy) st.awaiting;
+      if st.awaiting = [] then finalize t st
+    end
+
+(* the transaction leaves the system once every write has been applied *)
+and finalize t st =
+  let txn = st.txn in
+  Runtime.emit t.rt
+    (Runtime.Txn_committed
+       { txn; submitted_at = st.submitted_at; executed_at = Runtime.now t.rt;
+         restarts = st.restarts });
+  Hashtbl.remove t.states txn.id;
+  t.active <- t.active - 1
+
+and on_reject t txn_id ~ts rejected_copy op =
+  match Hashtbl.find_opt t.states txn_id with
+  | None -> ()
+  | Some st ->
+    if st.ts = ts && (st.phase = Reading || st.phase = Prewriting) then
+      restart t st rejected_copy op
+
+and restart t st rejected_copy rejected_op =
+  let txn = st.txn in
+  Runtime.emit t.rt
+    (Runtime.Txn_restarted
+       { txn; reason = Runtime.To_rejected rejected_op; at = Runtime.now t.rt });
+  st.restarts <- st.restarts + 1;
+  (* invalidate until the next attempt begins so a second in-flight
+     rejection of this attempt is ignored *)
+  st.ts <- -1;
+  (* withdraw the reads (performed ones leave the committed projection of
+     the log) and, when prewriting, the buffered prewrites *)
+  let touched =
+    read_copies t.rt txn
+    @ (if st.phase = Prewriting then write_copies t.rt txn else [])
+  in
+  List.iter
+    (fun ((item, site) as copy) ->
+      if copy <> rejected_copy then
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"to-abort" (fun () ->
+            To_queue.abort (queue t copy) ~txn:txn.id;
+            Ccdb_storage.Store.discard_reads (Runtime.store t.rt) ~item ~site
+              ~txn:txn.id;
+            drain t copy))
+    touched;
+  st.phase <- Reading;
+  st.awaiting <- [];
+  st.reads <- [];
+  st.write_values <- [];
+  st.ignored <- [];
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
+       ~after:t.config.restart_delay (fun () -> begin_attempt t st))
+
+and begin_attempt t st =
+  let txn = st.txn in
+  st.ts <- Ccdb_model.Timestamp.Source.next (Runtime.ts_source t.rt);
+  st.phase <- Reading;
+  st.reads <- [];
+  st.write_values <- [];
+  st.ignored <- [];
+  let copies = read_copies t.rt txn in
+  st.awaiting <- copies;
+  if copies = [] then start_compute t st
+  else begin
+    let ts = st.ts in
+    List.iter
+      (fun ((_item, site) as copy) ->
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"to-read" (fun () ->
+            let q = queue t copy in
+            match To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Read with
+            | To_queue.Rejected ->
+              Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
+                ~kind:"to-reject" (fun () ->
+                  on_reject t txn.id ~ts copy Ccdb_model.Op.Read)
+            | To_queue.Accepted -> drain t copy
+            | To_queue.Ignored -> assert false (* reads are never ignored *)))
+      copies
+  end
+
+let create ?(config = default_config) rt =
+  { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
+    active = 0 }
+
+let submit t ?payload txn =
+  if Hashtbl.mem t.states txn.Ccdb_model.Txn.id then
+    invalid_arg "To_system.submit: duplicate transaction id";
+  let st =
+    { txn; payload; submitted_at = Runtime.now t.rt; ts = 0; restarts = 0;
+      phase = Reading; awaiting = []; reads = []; write_values = [];
+      ignored = [] }
+  in
+  Hashtbl.add t.states txn.id st;
+  t.active <- t.active + 1;
+  begin_attempt t st
+
+let active t = t.active

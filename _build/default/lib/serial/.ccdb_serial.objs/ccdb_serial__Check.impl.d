@@ -1,0 +1,1 @@
+lib/serial/check.ml: Ccdb_model Ccdb_storage Conflict_graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/serial/check.mli: Ccdb_storage

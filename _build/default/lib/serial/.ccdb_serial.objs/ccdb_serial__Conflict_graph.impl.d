@@ -1,0 +1,1 @@
+lib/serial/conflict_graph.ml: Ccdb_model Ccdb_storage Hashtbl Int List Map Option Set

@@ -1,0 +1,1 @@
+lib/serial/conflict_graph.mli: Ccdb_storage

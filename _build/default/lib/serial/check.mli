@@ -1,0 +1,26 @@
+(** Serializability verdicts over complete executions.
+
+    These are the oracles the test-suite and the experiment harness run
+    against every simulated execution: Theorem 2 of the paper promises that
+    the unified algorithm only produces conflict-serializable executions. *)
+
+type logs = (Ccdb_storage.Store.copy * Ccdb_storage.Store.log_entry list) list
+
+val conflict_serializable : logs -> bool
+(** Acyclicity of the conflict graph (Theorem 1). *)
+
+val serialization_order : logs -> int list option
+(** A witnessing total order when serializable. *)
+
+val violation_witness : logs -> int list option
+(** A cycle of transaction ids when {e not} serializable. *)
+
+val brute_force_serializable : ?max_txns:int -> logs -> bool option
+(** Independent oracle: enumerates all permutations of the transactions and
+    checks each conflicting pair is consistently ordered.  Returns [None]
+    when more than [max_txns] (default 8) transactions are involved. *)
+
+val replica_consistent : Ccdb_storage.Store.t -> bool
+(** With read-one/write-all, every copy of an item must apply the same
+    writes in the same order and end with the same value.  A redundant
+    corollary of conflict serializability, checked independently. *)

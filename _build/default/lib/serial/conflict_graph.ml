@@ -1,0 +1,120 @@
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  node_set : Iset.t;
+  edge_set : Edge_set.t;
+  succ : Iset.t Imap.t;
+}
+
+let build node_set edge_set =
+  let succ =
+    Edge_set.fold
+      (fun (a, b) acc ->
+        let cur = Option.value ~default:Iset.empty (Imap.find_opt a acc) in
+        Imap.add a (Iset.add b cur) acc)
+      edge_set Imap.empty
+  in
+  { node_set; edge_set; succ }
+
+let of_edges ~nodes ~edges =
+  let node_set =
+    List.fold_left
+      (fun acc (a, b) -> Iset.add a (Iset.add b acc))
+      (Iset.of_list nodes) edges
+  in
+  let edge_set =
+    List.fold_left
+      (fun acc (a, b) -> if a = b then acc else Edge_set.add (a, b) acc)
+      Edge_set.empty edges
+  in
+  build node_set edge_set
+
+let of_logs logs =
+  let nodes = ref Iset.empty in
+  let edges = ref Edge_set.empty in
+  let scan_log entries =
+    (* For each entry, add edges from every earlier conflicting entry of a
+       different transaction. *)
+    let rec loop earlier = function
+      | [] -> ()
+      | (e : Ccdb_storage.Store.log_entry) :: rest ->
+        nodes := Iset.add e.txn !nodes;
+        List.iter
+          (fun (e' : Ccdb_storage.Store.log_entry) ->
+            if e'.txn <> e.txn && Ccdb_model.Op.conflicts e'.kind e.kind then
+              edges := Edge_set.add (e'.txn, e.txn) !edges)
+          earlier;
+        loop (e :: earlier) rest
+    in
+    loop [] entries
+  in
+  List.iter (fun (_copy, entries) -> scan_log entries) logs;
+  build !nodes !edges
+
+let nodes t = Iset.elements t.node_set
+let edges t = Edge_set.elements t.edge_set
+
+let successors t n =
+  Option.value ~default:Iset.empty (Imap.find_opt n t.succ)
+
+(* Iterative DFS with colouring; returns a witness cycle when found. *)
+let find_cycle t =
+  let state = Hashtbl.create 64 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let cycle = ref None in
+  let rec visit path n =
+    match Hashtbl.find_opt state n with
+    | Some 2 -> ()
+    | Some 1 ->
+      (* found a back edge: extract the cycle from the path *)
+      if !cycle = None then begin
+        let rec take acc = function
+          | [] -> acc
+          | x :: rest -> if x = n then x :: acc else take (x :: acc) rest
+        in
+        cycle := Some (take [] path)
+      end
+    | Some _ | None ->
+      Hashtbl.replace state n 1;
+      Iset.iter
+        (fun m -> if !cycle = None then visit (n :: path) m)
+        (successors t n);
+      Hashtbl.replace state n 2
+  in
+  Iset.iter (fun n -> if !cycle = None then visit [] n) t.node_set;
+  !cycle
+
+let has_cycle t = Option.is_some (find_cycle t)
+
+let topological_order t =
+  let indeg = Hashtbl.create 64 in
+  Iset.iter (fun n -> Hashtbl.replace indeg n 0) t.node_set;
+  Edge_set.iter
+    (fun (_, b) ->
+      Hashtbl.replace indeg b (1 + Option.value ~default:0 (Hashtbl.find_opt indeg b)))
+    t.edge_set;
+  (* smallest-id-first frontier for a deterministic order *)
+  let frontier = ref Iset.empty in
+  Hashtbl.iter (fun n d -> if d = 0 then frontier := Iset.add n !frontier) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Iset.is_empty !frontier) do
+    let n = Iset.min_elt !frontier in
+    frontier := Iset.remove n !frontier;
+    order := n :: !order;
+    incr count;
+    Iset.iter
+      (fun m ->
+        let d = Hashtbl.find indeg m - 1 in
+        Hashtbl.replace indeg m d;
+        if d = 0 then frontier := Iset.add m !frontier)
+      (successors t n)
+  done;
+  if !count = Iset.cardinal t.node_set then Some (List.rev !order) else None

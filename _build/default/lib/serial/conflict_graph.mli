@@ -1,0 +1,30 @@
+(** Conflict graphs over executed transactions.
+
+    Built from the per-copy implementation logs: there is an edge
+    [ti -> tj] when a pair of conflicting operations from distinct
+    transactions appears in some log with [ti]'s operation first.  The
+    execution is conflict serializable iff this graph is acyclic
+    (Theorem 1 / section 4.3 of the paper). *)
+
+type t
+
+val of_logs : (Ccdb_storage.Store.copy * Ccdb_storage.Store.log_entry list) list -> t
+
+val of_edges : nodes:int list -> edges:(int * int) list -> t
+(** Build directly (used by tests and by the deadlock-detector tests). *)
+
+val nodes : t -> int list
+(** Sorted transaction ids appearing in any log. *)
+
+val edges : t -> (int * int) list
+(** Deduplicated, lexicographically sorted; self-edges are never included. *)
+
+val has_cycle : t -> bool
+
+val find_cycle : t -> int list option
+(** Some witness cycle [t1; t2; ...; tk] with an edge from each element to
+    the next and from [tk] back to [t1]; [None] when acyclic. *)
+
+val topological_order : t -> int list option
+(** A serialization order (Kahn's algorithm, smallest-id-first for
+    determinism); [None] when cyclic. *)

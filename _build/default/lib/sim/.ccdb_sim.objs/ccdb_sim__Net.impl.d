@@ -1,0 +1,1 @@
+lib/sim/net.ml: Ccdb_util Engine Hashtbl List

@@ -1,0 +1,42 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is a [float] in abstract milliseconds.  Events scheduled for the
+    same instant fire in schedule order (FIFO tie-break), which makes every
+    run fully deterministic given the same sequence of [schedule] calls. *)
+
+type t
+
+type time = float
+
+type handle
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> time
+(** Current simulation time (0. before any event has fired). *)
+
+val schedule : t -> after:time -> (unit -> unit) -> handle
+(** [schedule t ~after f] fires [f] at [now t +. after].  [after] must be
+    [>= 0.]; negative delays raise [Invalid_argument]. *)
+
+val schedule_at : t -> at:time -> (unit -> unit) -> handle
+(** Absolute-time variant; [at] must be [>= now t]. *)
+
+val cancel : t -> handle -> bool
+(** [cancel t h] prevents the event from firing; returns [false] if it
+    already fired or was cancelled. *)
+
+val run : ?until:time -> ?max_events:int -> t -> unit
+(** Processes events in order until the queue is empty, [until] is passed
+    (events strictly after [until] stay queued; [now] is clamped to [until]),
+    or [max_events] have fired. *)
+
+val step : t -> bool
+(** Fires the single next event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val processed : t -> int
+(** Number of events fired so far. *)

@@ -1,0 +1,96 @@
+type config = {
+  sites : int;
+  base_delay : float;
+  jitter : float;
+  local_delay : float;
+}
+
+let default_config ~sites =
+  { sites; base_delay = 10.0; jitter = 2.0; local_delay = 0.1 }
+
+type slowdown = {
+  site : int option; (* None = whole network *)
+  from_time : float;
+  until_time : float;
+  factor : float;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Ccdb_util.Rng.t;
+  config : config;
+  counts : (string, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable slowdowns : slowdown list;
+  (* Earliest admissible delivery time per ordered (src, dst) pair, to keep
+     per-channel delivery FIFO even with jitter. *)
+  channel_front : (int * int, float) Hashtbl.t;
+}
+
+let create engine rng config =
+  if config.sites <= 0 then invalid_arg "Net.create: need at least one site";
+  { engine; rng; config; counts = Hashtbl.create 16; total = 0;
+    slowdowns = []; channel_front = Hashtbl.create 64 }
+
+let sites t = t.config.sites
+
+let count t kind =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.counts kind with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts kind (ref 1)
+
+let send t ~src ~dst ~kind deliver =
+  let n = t.config.sites in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Net.send: site out of range";
+  count t kind;
+  let now = Engine.now t.engine in
+  let slowdown_factor =
+    List.fold_left
+      (fun acc s ->
+        let applies_window = now >= s.from_time && now < s.until_time in
+        let applies_site =
+          match s.site with None -> true | Some w -> w = src || w = dst
+        in
+        if applies_window && applies_site then acc *. s.factor else acc)
+      1. t.slowdowns
+  in
+  let delay =
+    (if src = dst then t.config.local_delay
+     else t.config.base_delay +. Ccdb_util.Rng.float t.rng t.config.jitter)
+    *. slowdown_factor
+  in
+  let naive = Engine.now t.engine +. delay in
+  let front =
+    match Hashtbl.find_opt t.channel_front (src, dst) with
+    | Some f -> f
+    | None -> 0.
+  in
+  let at = if naive > front then naive else front +. 1e-9 in
+  Hashtbl.replace t.channel_front (src, dst) at;
+  ignore (Engine.schedule_at t.engine ~at deliver)
+
+let messages_sent t = t.total
+
+let messages_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_counters t =
+  Hashtbl.reset t.counts;
+  t.total <- 0
+
+let add_slowdown t site ~from_time ~until_time ~factor =
+  if from_time < 0. || until_time <= from_time then
+    invalid_arg "Net.inject_slowdown: bad time window";
+  if factor < 1. then invalid_arg "Net.inject_slowdown: factor < 1";
+  t.slowdowns <- { site; from_time; until_time; factor } :: t.slowdowns
+
+let inject_slowdown t ~from_time ~until_time ~factor =
+  add_slowdown t None ~from_time ~until_time ~factor
+
+let inject_site_slowdown t ~site ~from_time ~until_time ~factor =
+  if site < 0 || site >= t.config.sites then
+    invalid_arg "Net.inject_site_slowdown: site out of range";
+  add_slowdown t (Some site) ~from_time ~until_time ~factor

@@ -1,0 +1,58 @@
+(** Simulated network between database sites.
+
+    Messages between distinct sites experience [base_delay] plus uniform
+    jitter; messages a site sends to itself experience [local_delay] (the
+    cost of the local request path).  Delivery between any ordered pair of
+    sites is FIFO, matching the paper's implicit assumption that requests
+    from a request issuer reach a data queue in order.  Every send is counted
+    by message kind so experiments can report communication cost (the paper's
+    stated weakness of PA). *)
+
+type t
+
+type config = {
+  sites : int;           (** number of sites, numbered [0 .. sites-1] *)
+  base_delay : float;    (** fixed one-way latency between distinct sites *)
+  jitter : float;        (** uniform extra latency in [0, jitter) *)
+  local_delay : float;   (** latency when [src = dst] *)
+}
+
+val default_config : sites:int -> config
+(** 10.0 base delay, 2.0 jitter, 0.1 local delay. *)
+
+val create : Engine.t -> Ccdb_util.Rng.t -> config -> t
+
+val sites : t -> int
+
+val send : t -> src:int -> dst:int -> kind:string -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~kind deliver] schedules [deliver] after the simulated
+    transit delay and counts one message of [kind].
+    @raise Invalid_argument on an out-of-range site. *)
+
+val messages_sent : t -> int
+(** Total messages sent so far. *)
+
+val messages_by_kind : t -> (string * int) list
+(** Per-kind counts, sorted by kind name. *)
+
+val reset_counters : t -> unit
+(** Zeroes the message counters (used to exclude warm-up from metrics). *)
+
+(** {2 Failure injection}
+
+    Degradations model transient network trouble (congestion, partial
+    partitions) without breaking delivery guarantees: messages are delayed,
+    never lost, and per-channel FIFO still holds.  Concurrency-control
+    correctness must survive arbitrary delay — the test suite injects spikes
+    and re-checks serializability. *)
+
+val inject_slowdown : t -> from_time:float -> until_time:float -> factor:float -> unit
+(** Multiplies the transit delay of every message {e sent} in
+    [\[from_time, until_time)] by [factor >= 1.].  Multiple overlapping
+    injections compound.  @raise Invalid_argument on a bad window or
+    [factor < 1.]. *)
+
+val inject_site_slowdown :
+  t -> site:int -> from_time:float -> until_time:float -> factor:float -> unit
+(** Like {!inject_slowdown} but only for messages to or from [site]
+    (a congested or flapping node). *)

@@ -1,0 +1,1 @@
+lib/stl/analytic.ml: Ccdb_model Ccdb_workload Estimator Float Stl_model Txn_cost

@@ -1,0 +1,1 @@
+lib/stl/analytic.mli: Ccdb_workload Estimator

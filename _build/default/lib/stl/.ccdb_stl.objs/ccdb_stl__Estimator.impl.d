@@ -1,0 +1,1 @@
+lib/stl/estimator.ml: Ccdb_model Ccdb_protocols Float Hashtbl Stl_model Txn_cost

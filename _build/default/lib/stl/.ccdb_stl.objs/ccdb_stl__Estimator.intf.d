@@ -1,0 +1,1 @@
+lib/stl/estimator.mli: Ccdb_model Ccdb_protocols Stl_model Txn_cost

@@ -1,0 +1,1 @@
+lib/stl/selector.ml: Ccdb_model Ccdb_storage Estimator Hashtbl List Txn_cost

@@ -1,0 +1,1 @@
+lib/stl/selector.mli: Ccdb_model Ccdb_storage Estimator Txn_cost

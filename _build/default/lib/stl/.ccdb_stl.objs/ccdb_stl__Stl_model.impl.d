@@ -1,0 +1,1 @@
+lib/stl/stl_model.ml: Array Float

@@ -1,0 +1,1 @@
+lib/stl/txn_cost.ml: Float List Stl_model

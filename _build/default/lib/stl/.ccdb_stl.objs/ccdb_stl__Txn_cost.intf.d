@@ -1,0 +1,1 @@
+lib/stl/txn_cost.mli: Stl_model

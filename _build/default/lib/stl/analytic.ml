@@ -1,0 +1,112 @@
+type workload = {
+  arrival_rate : float;
+  mean_size : float;
+  read_fraction : float;
+  items : int;
+  replication : int;
+  sites : int;
+  one_way_delay : float;
+  compute_mean : float;
+}
+
+let of_spec (spec : Ccdb_workload.Generator.spec) ~setup_items
+    ~setup_replication ~setup_sites ~one_way_delay =
+  { arrival_rate = spec.arrival_rate;
+    mean_size = float_of_int (spec.size_min + spec.size_max) /. 2.;
+    read_fraction = spec.read_fraction;
+    items = setup_items;
+    replication = setup_replication;
+    sites = setup_sites;
+    one_way_delay;
+    compute_mean = spec.compute_mean }
+
+(* physical requests per transaction: each read hits one copy, each write
+   hits every copy *)
+let physical_requests w =
+  let reads = w.mean_size *. w.read_fraction in
+  let writes = w.mean_size *. (1. -. w.read_fraction) in
+  reads +. (writes *. float_of_int w.replication)
+
+let copies w = float_of_int (w.items * w.replication)
+
+(* base lock-hold time: request -> grant round trip is paid before holding;
+   the lock is held through the remaining grant collection (~ one round
+   trip), the compute phase, and the release delivery *)
+let base_hold w = (2. *. w.one_way_delay) +. w.compute_mean
+
+let grant_rate w = w.arrival_rate *. physical_requests w
+
+let utilization w =
+  let per_copy = grant_rate w /. copies w in
+  Float.min 0.95 (per_copy *. base_hold w)
+
+let mm1_factor w = 1. /. (1. -. utilization w)
+
+let predicted_deadlock_probability w =
+  let rho = utilization w in
+  let k = Float.max 1. (physical_requests w) in
+  Float.min 0.5 ((k -. 1.) *. rho *. rho /. 2.)
+
+(* rate at which requests conflicting with one given request are granted on
+   its copy *)
+let conflict_rate w ~for_write =
+  let per_copy = grant_rate w /. copies w in
+  let write_share = 1. -. w.read_fraction in
+  if for_write then per_copy (* writes conflict with everything *)
+  else per_copy *. write_share
+
+let predicted_rejection_probability w ~window =
+  Float.max 0.
+    (Float.min 0.95 (1. -. exp (-.conflict_rate w ~for_write:true *. window)))
+
+let snapshot w =
+  if w.arrival_rate <= 0. then invalid_arg "Analytic.snapshot: rate <= 0";
+  if w.items <= 0 || w.replication <= 0 || w.sites <= 0 then
+    invalid_arg "Analytic.snapshot: bad topology";
+  let n_copies = copies w in
+  let lambda_a = Float.max 1e-9 (grant_rate w) in
+  let q_r =
+    let phys = physical_requests w in
+    if phys <= 0. then 0.5 else w.mean_size *. w.read_fraction /. phys
+  in
+  let per_copy = lambda_a /. n_copies in
+  let lambda_r = per_copy *. q_r in
+  let lambda_w = per_copy *. (1. -. q_r) in
+  let hold = base_hold w *. mm1_factor w in
+  (* T/O: reads are vulnerable for one delivery delay; prewrites for the
+     whole read-collection + compute phase *)
+  let read_window = w.one_way_delay in
+  let write_window = (3. *. w.one_way_delay) +. w.compute_mean in
+  let p_reject_read =
+    Float.min 0.95
+      (1. -. exp (-.conflict_rate w ~for_write:false *. read_window))
+  in
+  let p_reject_write = predicted_rejection_probability w ~window:write_window in
+  (* PA requests travel up front: both ops share the short window *)
+  let p_backoff_read = p_reject_read in
+  let p_backoff_write =
+    predicted_rejection_probability w ~window:read_window
+  in
+  let response_time (_ : Ccdb_model.Protocol.t) =
+    (* first-order: every protocol pays the base path; failures are already
+       priced by the per-protocol STL inputs *)
+    base_hold w *. mm1_factor w
+  in
+  { Estimator.params =
+      { Stl_model.lambda_a; lambda_r; lambda_w; q_r;
+        k = Float.max 1. (physical_requests w) };
+    rates = (fun (_ : int * int) -> (lambda_r, lambda_w));
+    two_pl =
+      { Txn_cost.u_hold = hold; u_aborted = hold;
+        p_abort = predicted_deadlock_probability w };
+    t_o =
+      { Txn_cost.u_hold = hold *. 0.5;
+        (* T/O holds no locks pre-compute; its effective blocking is the
+           prewrite-to-apply span *)
+        u_aborted = hold *. 0.5;
+        p_reject_read;
+        p_reject_write };
+    pa =
+      { Txn_cost.u_hold = hold; u_aborted = hold *. 1.5;
+        p_backoff_read; p_backoff_write };
+    response_time }

@@ -1,0 +1,192 @@
+module Rt = Ccdb_protocols.Runtime
+
+type priors = { hold_time : float; aborted_time : float }
+
+let default_priors = { hold_time = 30.; aborted_time = 30. }
+
+(* Exponential moving averages track the current regime instead of the whole
+   history, so the selector reacts when the load changes. *)
+let alpha = 0.05
+
+type ema = { mutable value : float; mutable initialised : bool }
+
+let ema_make () = { value = 0.; initialised = false }
+
+let ema_add e x =
+  if e.initialised then e.value <- e.value +. (alpha *. (x -. e.value))
+  else begin
+    e.value <- x;
+    e.initialised <- true
+  end
+
+let ema_get ~prior e = if e.initialised then e.value else prior
+
+type snapshot = {
+  params : Stl_model.params;
+  rates : Txn_cost.rates;
+  two_pl : Txn_cost.two_pl_stats;
+  t_o : Txn_cost.to_stats;
+  pa : Txn_cost.pa_stats;
+  response_time : Ccdb_model.Protocol.t -> float;
+      (** mean observed system time per protocol (EMA), for the
+          response-time selection criterion the paper's section 5.1
+          rejects; equals [2 * priors.hold_time] before any observation *)
+}
+
+type t = {
+  rt : Rt.t;
+  priors : priors;
+  created_at : float;
+  (* per-copy grant counts: (reads, writes) *)
+  copy_grants : (int * int, int ref * int ref) Hashtbl.t;
+  mutable grants_read : int;
+  mutable grants_write : int;
+  (* lock hold times per protocol, split by aborted *)
+  hold : (Ccdb_model.Protocol.t * bool, ema) Hashtbl.t;
+  (* failure probabilities as EMAs of per-request (or per-attempt for 2PL)
+     failure indicators *)
+  probs : (string, ema) Hashtbl.t;
+  (* mean system time per protocol *)
+  response : (Ccdb_model.Protocol.t, ema) Hashtbl.t;
+  mutable commits : int;
+  mutable committed_requests : int;
+}
+
+let hold_acc t key =
+  match Hashtbl.find_opt t.hold key with
+  | Some acc -> acc
+  | None ->
+    let acc = ema_make () in
+    Hashtbl.add t.hold key acc;
+    acc
+
+let prob t key =
+  match Hashtbl.find_opt t.probs key with
+  | Some e -> e
+  | None ->
+    let e = ema_make () in
+    Hashtbl.add t.probs key e;
+    e
+
+let prob_observe t key outcome =
+  ema_add (prob t key) (if outcome then 1. else 0.)
+
+let prob_get t key = ema_get ~prior:0. (prob t key)
+
+let op_key prefix = function
+  | Ccdb_model.Op.Read -> prefix ^ "-read"
+  | Ccdb_model.Op.Write -> prefix ^ "-write"
+
+let on_event t = function
+  | Rt.Lock_granted { protocol; op; item; site; _ } ->
+    let reads, writes =
+      match Hashtbl.find_opt t.copy_grants (item, site) with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.add t.copy_grants (item, site) cell;
+        cell
+    in
+    (match op with
+     | Ccdb_model.Op.Read ->
+       incr reads;
+       t.grants_read <- t.grants_read + 1
+     | Ccdb_model.Op.Write ->
+       incr writes;
+       t.grants_write <- t.grants_write + 1);
+    (* a grant is a request that was not rejected / backed off *)
+    (match protocol with
+     | Ccdb_model.Protocol.T_o -> prob_observe t (op_key "to" op) false
+     | Ccdb_model.Protocol.Pa -> prob_observe t (op_key "pa" op) false
+     | Ccdb_model.Protocol.Two_pl -> ())
+  | Rt.Lock_released { protocol; granted_at; at; aborted; _ } ->
+    ema_add (hold_acc t (protocol, aborted)) (at -. granted_at)
+  | Rt.Txn_committed { txn; submitted_at; executed_at; restarts = _ } ->
+    t.commits <- t.commits + 1;
+    t.committed_requests <- t.committed_requests + Ccdb_model.Txn.size txn;
+    let resp =
+      match Hashtbl.find_opt t.response txn.protocol with
+      | Some e -> e
+      | None ->
+        let e = ema_make () in
+        Hashtbl.add t.response txn.protocol e;
+        e
+    in
+    ema_add resp (executed_at -. submitted_at);
+    (match txn.protocol with
+     | Ccdb_model.Protocol.Two_pl -> prob_observe t "2pl-abort" false
+     | Ccdb_model.Protocol.T_o | Ccdb_model.Protocol.Pa -> ())
+  | Rt.Txn_restarted { reason; _ } ->
+    (match reason with
+     | Rt.Deadlock_victim | Rt.Prevention_kill ->
+       prob_observe t "2pl-abort" true
+     | Rt.To_rejected op -> prob_observe t (op_key "to" op) true)
+  | Rt.Pa_backoff { op; _ } -> prob_observe t (op_key "pa" op) true
+
+let create ?(priors = default_priors) rt =
+  let t =
+    { rt; priors; created_at = Rt.now rt; copy_grants = Hashtbl.create 128;
+      grants_read = 0; grants_write = 0; hold = Hashtbl.create 8;
+      probs = Hashtbl.create 8; response = Hashtbl.create 4; commits = 0;
+      committed_requests = 0 }
+  in
+  Rt.subscribe rt (on_event t);
+  t
+
+let snapshot t =
+  let elapsed = Float.max 1e-6 (Rt.now t.rt -. t.created_at) in
+  let rates (copy : int * int) =
+    match Hashtbl.find_opt t.copy_grants copy with
+    | None -> (0., 0.)
+    | Some (reads, writes) ->
+      (float_of_int !reads /. elapsed, float_of_int !writes /. elapsed)
+  in
+  let lambda_a =
+    Float.max 1e-9 (float_of_int (t.grants_read + t.grants_write) /. elapsed)
+  in
+  let n_copies = Float.max 1. (float_of_int (Hashtbl.length t.copy_grants)) in
+  let lambda_r = float_of_int t.grants_read /. elapsed /. n_copies in
+  let lambda_w = float_of_int t.grants_write /. elapsed /. n_copies in
+  let q_r =
+    if t.grants_read + t.grants_write = 0 then 0.5
+    else
+      float_of_int t.grants_read
+      /. float_of_int (t.grants_read + t.grants_write)
+  in
+  let k =
+    if t.commits = 0 then 2.
+    else
+      Float.max 1.
+        (float_of_int t.committed_requests /. float_of_int t.commits)
+  in
+  let u p = ema_get ~prior:t.priors.hold_time (hold_acc t (p, false)) in
+  let u' p =
+    (* with no aborted observations, fall back to the successful hold time
+       (an aborted attempt holds its locks for roughly as long) *)
+    let acc = hold_acc t (p, true) in
+    if acc.initialised then acc.value else u p
+  in
+  let response_time p =
+    match Hashtbl.find_opt t.response p with
+    | Some e -> ema_get ~prior:(2. *. t.priors.hold_time) e
+    | None -> 2. *. t.priors.hold_time
+  in
+  { params = { lambda_a; lambda_r; lambda_w; q_r; k };
+    rates;
+    response_time;
+    two_pl =
+      { u_hold = u Ccdb_model.Protocol.Two_pl;
+        u_aborted = u' Ccdb_model.Protocol.Two_pl;
+        p_abort = prob_get t "2pl-abort" };
+    t_o =
+      { u_hold = u Ccdb_model.Protocol.T_o;
+        u_aborted = u' Ccdb_model.Protocol.T_o;
+        p_reject_read = prob_get t "to-read";
+        p_reject_write = prob_get t "to-write" };
+    pa =
+      { u_hold = u Ccdb_model.Protocol.Pa;
+        u_aborted = u' Ccdb_model.Protocol.Pa;
+        p_backoff_read = prob_get t "pa-read";
+        p_backoff_write = prob_get t "pa-write" } }
+
+let observed_commits t = t.commits

@@ -1,0 +1,46 @@
+(** Online estimation of every parameter the STL selector needs
+    (section 5.2 lists them): per-copy read/write throughputs, per-protocol
+    lock times U and U', and the failure probabilities P_A, P_r, P_w',
+    P_B, P'_B.
+
+    An estimator subscribes to a {!Ccdb_protocols.Runtime} event stream and
+    accumulates counts; {!snapshot} turns them into inputs for
+    {!Txn_cost}.  Priors keep the selector sane before any data exists
+    (paper: "collected periodically or estimated through analytical
+    methods"). *)
+
+type priors = {
+  hold_time : float;     (** prior U for every protocol *)
+  aborted_time : float;  (** prior U' *)
+}
+
+val default_priors : priors
+(** hold_time 30., aborted_time 30. — the scale of one round trip plus
+    compute in the default network. *)
+
+type snapshot = {
+  params : Stl_model.params;
+  rates : Txn_cost.rates;
+  two_pl : Txn_cost.two_pl_stats;
+  t_o : Txn_cost.to_stats;
+  pa : Txn_cost.pa_stats;
+  response_time : Ccdb_model.Protocol.t -> float;
+      (** mean observed system time per protocol (EMA) — input for the
+          response-time selection criterion that section 5.1 argues against
+          (measured by experiment X7); [2 * priors.hold_time] before any
+          observation *)
+}
+
+type t
+
+val create : ?priors:priors -> Ccdb_protocols.Runtime.t -> t
+(** Subscribes to the runtime's event stream immediately. *)
+
+val snapshot : t -> snapshot
+(** Current estimates.  Copies with no observed traffic report rate 0;
+    protocols with no observations fall back to the priors.  [params.k] and
+    [params.q_r] are estimated across all protocols; [params.lambda_a] is
+    the sum of all per-copy rates (at least a small epsilon, so
+    {!Stl_model.stl'} stays defined). *)
+
+val observed_commits : t -> int

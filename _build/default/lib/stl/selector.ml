@@ -1,0 +1,92 @@
+type verdict = {
+  chosen : Ccdb_model.Protocol.t;
+  costs : (Ccdb_model.Protocol.t * float) list;
+}
+
+let footprint catalog ~site ~read_set ~write_set =
+  let read_copies =
+    List.map
+      (fun item ->
+        (item, Ccdb_storage.Catalog.read_site catalog ~preferred:site item))
+      read_set
+  in
+  let write_copies =
+    List.concat_map
+      (fun item ->
+        List.map (fun s -> (item, s)) (Ccdb_storage.Catalog.copies catalog item))
+      write_set
+  in
+  { Txn_cost.read_copies; write_copies }
+
+type criterion = Min_stl | Min_response_time
+
+let cost ~criterion (snap : Estimator.snapshot) fp protocol =
+  match criterion with
+  | Min_response_time -> snap.response_time protocol
+  | Min_stl -> (
+    match protocol with
+    | Ccdb_model.Protocol.Two_pl ->
+      Txn_cost.stl_two_pl snap.params snap.rates snap.two_pl fp
+    | Ccdb_model.Protocol.T_o ->
+      Txn_cost.stl_to snap.params snap.rates snap.t_o fp
+    | Ccdb_model.Protocol.Pa ->
+      Txn_cost.stl_pa snap.params snap.rates snap.pa fp)
+
+let evaluate ?(candidates = Ccdb_model.Protocol.all) ?(criterion = Min_stl)
+    snap fp =
+  if candidates = [] then invalid_arg "Selector.evaluate: no candidates";
+  let costs = List.map (fun p -> (p, cost ~criterion snap fp p)) candidates in
+  let chosen, _ =
+    List.fold_left
+      (fun ((_, best_c) as best) ((_, c) as cand) ->
+        if c < best_c then cand else best)
+      (List.hd costs) (List.tl costs)
+  in
+  { chosen; costs }
+
+type t = {
+  candidates : Ccdb_model.Protocol.t list;
+  criterion : criterion;
+  ttl : float;
+  catalog : Ccdb_storage.Catalog.t;
+  estimator : Estimator.t;
+  cache : (int * int, float * verdict) Hashtbl.t; (* class -> expiry, verdict *)
+  counts : (Ccdb_model.Protocol.t, int ref) Hashtbl.t;
+}
+
+let create ?(candidates = Ccdb_model.Protocol.all) ?(criterion = Min_stl)
+    ?(class_cache_ttl = 200.) catalog estimator =
+  if candidates = [] then invalid_arg "Selector.create: no candidates";
+  { candidates; criterion; ttl = class_cache_ttl; catalog; estimator;
+    cache = Hashtbl.create 32; counts = Hashtbl.create 4 }
+
+let record t protocol =
+  match Hashtbl.find_opt t.counts protocol with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts protocol (ref 1)
+
+let choose t ~now (txn : Ccdb_model.Txn.t) =
+  let key = (List.length txn.read_set, List.length txn.write_set) in
+  let fresh () =
+    let fp =
+      footprint t.catalog ~site:txn.site ~read_set:txn.read_set
+        ~write_set:txn.write_set
+    in
+    let snap = Estimator.snapshot t.estimator in
+    let verdict =
+      evaluate ~candidates:t.candidates ~criterion:t.criterion snap fp
+    in
+    if t.ttl > 0. then Hashtbl.replace t.cache key (now +. t.ttl, verdict);
+    verdict
+  in
+  let verdict =
+    match Hashtbl.find_opt t.cache key with
+    | Some (expiry, verdict) when now < expiry -> verdict
+    | Some _ | None -> fresh ()
+  in
+  record t verdict.chosen;
+  verdict
+
+let decisions t =
+  Hashtbl.fold (fun p r acc -> (p, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> Ccdb_model.Protocol.compare a b)

@@ -1,0 +1,62 @@
+(** Minimum-STL protocol selection (section 5.2).
+
+    For each new transaction the selector evaluates STL_2PL, STL_T/O and
+    STL_PA from the current estimator snapshot and picks the cheapest.
+    Transactions can be bucketed into classes (by size and read/write mix)
+    whose decisions are cached and refreshed periodically — the paper's
+    "transactions may be categorized into different classes and the STL for
+    each class may be calculated in advance". *)
+
+type verdict = {
+  chosen : Ccdb_model.Protocol.t;
+  costs : (Ccdb_model.Protocol.t * float) list;
+      (** STL per candidate, in candidate order *)
+}
+
+val footprint :
+  Ccdb_storage.Catalog.t ->
+  site:int ->
+  read_set:int list ->
+  write_set:int list ->
+  Txn_cost.footprint
+(** The physical copies the transaction will touch (read-one/write-all,
+    local copy preferred), matching how every system routes requests. *)
+
+(** Which quantity the selector minimises. *)
+type criterion =
+  | Min_stl
+      (** the paper's criterion: expected system-throughput loss *)
+  | Min_response_time
+      (** the alternative section 5.1 argues against — minimise the
+          transaction's own expected system time; experiment X7 measures
+          the difference *)
+
+val evaluate :
+  ?candidates:Ccdb_model.Protocol.t list ->
+  ?criterion:criterion ->
+  Estimator.snapshot ->
+  Txn_cost.footprint ->
+  verdict
+(** Candidates default to all three protocols, criterion to [Min_stl]; ties
+    break in candidate order.  @raise Invalid_argument on an empty candidate
+    list. *)
+
+type t
+
+val create :
+  ?candidates:Ccdb_model.Protocol.t list ->
+  ?criterion:criterion ->
+  ?class_cache_ttl:float ->
+  Ccdb_storage.Catalog.t ->
+  Estimator.t ->
+  t
+(** [class_cache_ttl] (default 200. time units) controls how long a class
+    decision is reused before re-evaluating; [0.] disables caching. *)
+
+val choose : t -> now:float -> Ccdb_model.Txn.t -> verdict
+(** Selects a protocol for the transaction (its own [protocol] field is
+    ignored).  Class key: (reads, writes) counts — transactions of the same
+    shape share a cached decision within the TTL. *)
+
+val decisions : t -> (Ccdb_model.Protocol.t * int) list
+(** How many transactions were routed to each protocol so far. *)

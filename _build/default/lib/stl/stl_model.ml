@@ -1,0 +1,91 @@
+type params = {
+  lambda_a : float;
+  lambda_r : float;
+  lambda_w : float;
+  q_r : float;
+  k : float;
+}
+
+let validate p =
+  if p.lambda_a <= 0. then invalid_arg "Stl_model: lambda_a must be positive";
+  if p.lambda_r < 0. || p.lambda_w < 0. then
+    invalid_arg "Stl_model: negative queue rate";
+  if p.q_r < 0. || p.q_r > 1. then invalid_arg "Stl_model: q_r out of [0,1]";
+  if p.k < 1. then invalid_arg "Stl_model: k must be >= 1"
+
+let delta p = p.lambda_w +. ((1. -. p.q_r) *. p.lambda_r)
+
+let lambda_block p ~lambda_loss =
+  if lambda_loss <= 0. then 0.
+  else if lambda_loss >= p.lambda_a then 0.
+  else begin
+    let block_prob = lambda_loss /. p.lambda_a in
+    (p.lambda_a -. lambda_loss)
+    *. (1. -. ((1. -. block_prob) ** (p.k -. 1.)))
+  end
+
+let stl' ?(grid = 32) ?(max_levels = 40) p ~lambda_loss ~u =
+  validate p;
+  if lambda_loss < 0. then invalid_arg "Stl_model.stl': negative lambda_loss";
+  if u < 0. then invalid_arg "Stl_model.stl': negative u";
+  if u = 0. then 0.
+  else if lambda_loss >= p.lambda_a then p.lambda_a *. u
+  else begin
+    let d = delta p in
+    (* number of loss levels until saturation *)
+    let levels =
+      if d <= 0. then 1
+      else
+        min max_levels
+          (1 + int_of_float (ceil ((p.lambda_a -. lambda_loss) /. d)))
+    in
+    let du = u /. float_of_int grid in
+    (* f.(i).(j) = STL' at loss level lambda_loss + i*d, horizon j*du.
+       Levels at or beyond the cap saturate to lambda_a * u. *)
+    let saturated j = p.lambda_a *. (float_of_int j *. du) in
+    let f = Array.make_matrix (levels + 1) (grid + 1) 0. in
+    for j = 0 to grid do
+      f.(levels).(j) <- saturated j
+    done;
+    for i = levels - 1 downto 0 do
+      let l = lambda_loss +. (float_of_int i *. d) in
+      if l >= p.lambda_a then
+        for j = 0 to grid do
+          f.(i).(j) <- saturated j
+        done
+      else begin
+        let b = lambda_block p ~lambda_loss:l in
+        if b <= 0. then
+          (* no further blocking can occur: loss stays constant *)
+          for j = 0 to grid do
+            f.(i).(j) <- l *. float_of_int j *. du
+          done
+        else
+          for j = 1 to grid do
+            let x = float_of_int j *. du in
+            (* term 1: no blocking event before x, plus the E[l * min(X,x)]
+               mass: closed form
+                 e^{-bx} l x + l * (1 - e^{-bx}(1+bx)) / b
+               (the second part is the integral of b e^{-bs} l s over
+               [0,x]) *)
+            let no_block = exp (-.b *. x) *. l *. x in
+            let ramp = l *. (1. -. (exp (-.b *. x) *. (1. +. (b *. x)))) /. b in
+            (* term 2: continuation after the first blocking event at s:
+               integral of b e^{-bs} f_{i+1}(x - s) ds, trapezoid on the
+               shared grid *)
+            let integrand idx =
+              let s = float_of_int idx *. du in
+              b *. exp (-.b *. s) *. f.(i + 1).(j - idx)
+            in
+            let cont = ref 0. in
+            for idx = 0 to j - 1 do
+              cont := !cont +. ((integrand idx +. integrand (idx + 1)) *. du /. 2.)
+            done;
+            let v = no_block +. ramp +. !cont in
+            (* clamp into the provable envelope *)
+            f.(i).(j) <- Float.min (p.lambda_a *. x) (Float.max (l *. x *. exp (-.b *. x)) v)
+          done
+      end
+    done;
+    f.(0).(grid)
+  end

@@ -1,0 +1,61 @@
+(** The System Throughput Loss model of section 5.1.
+
+    [STL'(lambda_loss, U)] is the expected throughput lost over the next [U]
+    time units, given that locks blocking a throughput of [lambda_loss] are
+    held now.  While blocked data exists, other requests obtaining locks may
+    themselves be blocked (their transaction also has a blocked request) and
+    add to the loss.  The paper defines the recursion
+
+    {v
+    STL'(l, U) = lambda_A * U                      if l >= lambda_A
+    STL'(l, U) = E[ l*min(X,U)
+                    + (X < U) * STL'(l + delta, U - X) ]
+    v}
+
+    where [X ~ Exp(lambda_block)] is the time of the next blocking lock
+    grant,
+
+    {v
+    lambda_block = (lambda_A - l) * (1 - (1 - l/lambda_A)^(K-1))
+    delta        = lambda_w + (1 - Qr) * lambda_r
+    v}
+
+    ([lambda_block]: requests get locks at rate [lambda_A - l]; each belongs
+    to a transaction with [K-1] other requests, each blocked with
+    probability [l / lambda_A]; [delta]: a read lock blocks the writes of
+    its queue, a write lock blocks everything, averaged with read fraction
+    [Qr]).
+
+    The recursion is evaluated with dynamic programming, exactly as the
+    paper prescribes: loss levels are discretized in steps of [delta] up to
+    [lambda_A] and the exponential integral is computed by trapezoidal
+    quadrature on a shared time grid.  (The printed formulas in the
+    proceedings are OCR-damaged; this reconstruction is documented in
+    DESIGN.md section 2.) *)
+
+type params = {
+  lambda_a : float;  (** total system throughput, sum of all queue rates *)
+  lambda_r : float;  (** mean read throughput of a queue *)
+  lambda_w : float;  (** mean write throughput of a queue *)
+  q_r : float;       (** fraction of read requests, in [0,1] *)
+  k : float;         (** mean number of requests per transaction, >= 1 *)
+}
+
+val validate : params -> unit
+(** @raise Invalid_argument on non-positive [lambda_a], [k < 1.] or
+    [q_r] outside [0,1]. *)
+
+val lambda_block : params -> lambda_loss:float -> float
+(** The blocking rate at the given loss level (0 when [k = 1] — single-
+    request transactions never cascade). *)
+
+val delta : params -> float
+(** Mean additional loss per blocking lock grant. *)
+
+val stl' : ?grid:int -> ?max_levels:int -> params -> lambda_loss:float -> u:float -> float
+(** [stl' p ~lambda_loss ~u] evaluates the recursion.  [grid] (default 32)
+    is the number of quadrature points, [max_levels] (default 40) caps the
+    number of discretized loss levels (beyond the cap the loss is taken as
+    saturated at [lambda_a], an upper bound).  Satisfies
+    [0 <= stl' <= lambda_a *. u], monotone in [u] and in [lambda_loss].
+    @raise Invalid_argument on negative [lambda_loss] or [u]. *)

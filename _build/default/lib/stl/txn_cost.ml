@@ -1,0 +1,109 @@
+type footprint = {
+  read_copies : (int * int) list;
+  write_copies : (int * int) list;
+}
+
+type rates = (int * int) -> float * float
+
+let lambda_t rates fp =
+  let read_loss =
+    List.fold_left
+      (fun acc copy ->
+        let _, lw = rates copy in
+        acc +. lw)
+      0. fp.read_copies
+  in
+  let write_loss =
+    List.fold_left
+      (fun acc copy ->
+        let lr, lw = rates copy in
+        acc +. lw +. lr)
+      0. fp.write_copies
+  in
+  read_loss +. write_loss
+
+type two_pl_stats = { u_hold : float; u_aborted : float; p_abort : float }
+
+type to_stats = {
+  u_hold : float;
+  u_aborted : float;
+  p_reject_read : float;
+  p_reject_write : float;
+}
+
+type pa_stats = {
+  u_hold : float;
+  u_aborted : float;
+  p_backoff_read : float;
+  p_backoff_write : float;
+}
+
+let clamp_prob p = Float.max 0. (Float.min 0.99 p)
+
+let stl_two_pl params rates stats fp =
+  let lt = lambda_t rates fp in
+  let p = clamp_prob stats.p_abort in
+  let success = Stl_model.stl' params ~lambda_loss:lt ~u:stats.u_hold in
+  if p <= 0. then success
+  else
+    let failure = Stl_model.stl' params ~lambda_loss:lt ~u:stats.u_aborted in
+    success +. (p /. (1. -. p) *. failure)
+
+(* Conditional loss given at least one failure, from the balance equation:
+     sum of per-request expected losses = (1-ps) lt_fail + ps lt
+   where the left-hand side discounts each request by its own survival
+   probability. *)
+let conditional_loss ~lt ~ps ~survive_read ~survive_write rates fp =
+  let read_part =
+    List.fold_left
+      (fun acc copy ->
+        let _, lw = rates copy in
+        acc +. (survive_read *. lw))
+      0. fp.read_copies
+  in
+  let write_part =
+    List.fold_left
+      (fun acc copy ->
+        let lr, lw = rates copy in
+        acc +. (survive_write *. (lw +. lr)))
+      0. fp.write_copies
+  in
+  let lhs = read_part +. write_part in
+  Float.max 0. ((lhs -. (ps *. lt)) /. (1. -. ps))
+
+let stl_to params rates stats fp =
+  let lt = lambda_t rates fp in
+  let m = float_of_int (List.length fp.read_copies) in
+  let n = float_of_int (List.length fp.write_copies) in
+  let pr = clamp_prob stats.p_reject_read in
+  let pw = clamp_prob stats.p_reject_write in
+  let ps = ((1. -. pr) ** m) *. ((1. -. pw) ** n) in
+  let success = Stl_model.stl' params ~lambda_loss:lt ~u:stats.u_hold in
+  if ps >= 1. -. 1e-9 then success
+  else begin
+    let lt_fail =
+      conditional_loss ~lt ~ps ~survive_read:(1. -. pr)
+        ~survive_write:(1. -. pw) rates fp
+    in
+    let failure = Stl_model.stl' params ~lambda_loss:lt_fail ~u:stats.u_aborted in
+    success +. ((1. -. ps) /. ps *. failure)
+  end
+
+let stl_pa params rates stats fp =
+  let lt = lambda_t rates fp in
+  let m = float_of_int (List.length fp.read_copies) in
+  let n = float_of_int (List.length fp.write_copies) in
+  let pb = clamp_prob stats.p_backoff_read in
+  let pb' = clamp_prob stats.p_backoff_write in
+  let ps = ((1. -. pb) ** m) *. ((1. -. pb') ** n) in
+  let success = Stl_model.stl' params ~lambda_loss:lt ~u:stats.u_hold in
+  if ps >= 1. -. 1e-9 then success
+  else begin
+    let lt_back =
+      conditional_loss ~lt ~ps ~survive_read:(1. -. pb)
+        ~survive_write:(1. -. pb') rates fp
+    in
+    (* a PA transaction backs off at most once: one extra U' episode, no
+       geometric series *)
+    success +. ((1. -. ps) *. Stl_model.stl' params ~lambda_loss:lt_back ~u:stats.u_aborted)
+  end

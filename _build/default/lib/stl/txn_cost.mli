@@ -1,0 +1,53 @@
+(** Per-protocol STL estimators (section 5.2).
+
+    Each estimator answers: if transaction [t] runs under this protocol,
+    what is the expected system-throughput loss caused by its locks?  The
+    inputs are the per-copy queue rates, the protocol's observed lock-time
+    and failure statistics, and the transaction's physical footprint
+    (the copies it will read and write). *)
+
+type footprint = {
+  read_copies : (int * int) list;   (** one copy per logical read *)
+  write_copies : (int * int) list;  (** every copy of each written item *)
+}
+
+type rates = (int * int) -> float * float
+(** [(lambda_r j, lambda_w j)] for a physical copy [j]. *)
+
+val lambda_t : rates -> footprint -> float
+(** Initial throughput loss of [t]'s locks: a read lock on copy [j] blocks
+    [lambda_w j]; a write lock blocks [lambda_w j + lambda_r j]. *)
+
+type two_pl_stats = {
+  u_hold : float;     (** U_2PL: mean lock time of a non-aborted request *)
+  u_aborted : float;  (** U'_2PL: mean lock time of an aborted request *)
+  p_abort : float;    (** P_A: probability an attempt dies in a deadlock *)
+}
+
+type to_stats = {
+  u_hold : float;
+  u_aborted : float;
+  p_reject_read : float;   (** P_r *)
+  p_reject_write : float;  (** P_w' *)
+}
+
+type pa_stats = {
+  u_hold : float;
+  u_aborted : float;       (** U'_PA: lock time when backed off *)
+  p_backoff_read : float;  (** P_B *)
+  p_backoff_write : float; (** P'_B *)
+}
+
+val stl_two_pl :
+  Stl_model.params -> rates -> two_pl_stats -> footprint -> float
+(** [STL_2PL = STL'(lambda_t, U) + P_A/(1-P_A) * STL'(lambda_t, U')].
+    [p_abort] is clamped below 0.99 to keep the geometric series finite. *)
+
+val stl_to : Stl_model.params -> rates -> to_stats -> footprint -> float
+(** [STL_T/O = STL'(lambda_t, U) + (1-ps)/ps * STL'(lambda_t*, U')] with
+    [ps = (1-P_r)^m (1-P_w')^n] and [lambda_t*] the conditional loss given
+    at least one rejection (the balance equation of section 5.2). *)
+
+val stl_pa : Stl_model.params -> rates -> pa_stats -> footprint -> float
+(** [STL_PA = STL'(lambda_t, U) + (1-pb) * STL'(lambda_t~, U')] — no
+    recursion, a PA transaction backs off at most once. *)

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Catalog Ccdb_model Hashtbl List

@@ -1,0 +1,1 @@
+lib/storage/store.mli: Catalog Ccdb_model

@@ -1,0 +1,42 @@
+type t = {
+  items : int;
+  sites : int;
+  replication : int;
+  placement : int list array; (* item -> sorted sites *)
+}
+
+let create ~items ~sites ~replication =
+  if items <= 0 then invalid_arg "Catalog.create: items <= 0";
+  if sites <= 0 then invalid_arg "Catalog.create: sites <= 0";
+  if replication <= 0 || replication > sites then
+    invalid_arg "Catalog.create: replication out of range";
+  let placement =
+    Array.init items (fun item ->
+        List.init replication (fun k -> (item + k) mod sites)
+        |> List.sort_uniq Int.compare)
+  in
+  { items; sites; replication; placement }
+
+let items t = t.items
+let sites t = t.sites
+let replication t = t.replication
+
+let copies t item =
+  if item < 0 || item >= t.items then invalid_arg "Catalog.copies: bad item";
+  t.placement.(item)
+
+let has_copy t ~item ~site = List.mem site (copies t item)
+
+let read_site t ~preferred item =
+  let sites = copies t item in
+  if List.mem preferred sites then preferred
+  else
+    (* first copy at or after [preferred], cyclically *)
+    match List.find_opt (fun s -> s > preferred) sites with
+    | Some s -> s
+    | None -> List.hd sites
+
+let all_copies t =
+  List.concat
+    (List.init t.items (fun item ->
+         List.map (fun site -> (item, site)) t.placement.(item)))

@@ -1,0 +1,32 @@
+(** Replica catalog: which sites hold a physical copy of each logical item.
+
+    Placement is deterministic (round-robin over sites starting at
+    [item mod sites]) so that a run depends only on (config, seed).  Replica
+    control is read-one / write-all: a logical read turns into one physical
+    read request (the local copy when present, otherwise the first copy); a
+    logical write turns into one physical write request per copy. *)
+
+type t
+
+val create : items:int -> sites:int -> replication:int -> t
+(** @raise Invalid_argument unless
+    [0 < items], [0 < sites], [0 < replication <= sites]. *)
+
+val items : t -> int
+val sites : t -> int
+val replication : t -> int
+
+val copies : t -> int -> int list
+(** [copies t item] is the sorted list of sites holding a copy.
+    @raise Invalid_argument on an out-of-range item. *)
+
+val has_copy : t -> item:int -> site:int -> bool
+
+val read_site : t -> preferred:int -> int -> int
+(** [read_site t ~preferred item] is the site a read of [item] issued at
+    [preferred] should target: [preferred] itself when it holds a copy,
+    otherwise the copy whose site id follows [preferred] cyclically (a cheap
+    deterministic stand-in for "nearest copy"). *)
+
+val all_copies : t -> (int * int) list
+(** Every physical copy as an [(item, site)] pair, lexicographically. *)

@@ -1,0 +1,57 @@
+type copy = int * int
+
+type log_entry = { txn : int; kind : Ccdb_model.Op.kind; at : float }
+
+type cell = {
+  mutable value : int;
+  mutable writer : int;
+  mutable history : (int * int * float) list; (* newest first *)
+  mutable log : log_entry list;               (* newest first *)
+}
+
+type t = { catalog : Catalog.t; cells : (copy, cell) Hashtbl.t }
+
+let create catalog =
+  let cells = Hashtbl.create 256 in
+  List.iter
+    (fun copy ->
+      Hashtbl.add cells copy
+        { value = 0; writer = -1; history = [ (-1, 0, 0.) ]; log = [] })
+    (Catalog.all_copies catalog);
+  { catalog; cells }
+
+let catalog t = t.catalog
+
+let cell t ~item ~site =
+  match Hashtbl.find_opt t.cells (item, site) with
+  | Some c -> c
+  | None -> invalid_arg "Store: no such physical copy"
+
+let read t ~item ~site = (cell t ~item ~site).value
+let writer_of t ~item ~site = (cell t ~item ~site).writer
+
+let apply_write t ~item ~site ~txn ~value ~at =
+  let c = cell t ~item ~site in
+  c.value <- value;
+  c.writer <- txn;
+  c.history <- (txn, value, at) :: c.history;
+  c.log <- { txn; kind = Ccdb_model.Op.Write; at } :: c.log
+
+let log_read t ~item ~site ~txn ~at =
+  let c = cell t ~item ~site in
+  c.log <- { txn; kind = Ccdb_model.Op.Read; at } :: c.log
+
+let discard_reads t ~item ~site ~txn =
+  let c = cell t ~item ~site in
+  c.log <-
+    List.filter
+      (fun e -> not (e.txn = txn && e.kind = Ccdb_model.Op.Read))
+      c.log
+
+let log t ~item ~site = List.rev (cell t ~item ~site).log
+
+let logs t =
+  Catalog.all_copies t.catalog
+  |> List.map (fun (item, site) -> ((item, site), log t ~item ~site))
+
+let versions t ~item ~site = List.rev (cell t ~item ~site).history

@@ -1,0 +1,57 @@
+(** Physical storage: one integer-valued cell per physical copy, with full
+    version history and the per-copy {e implementation log} that is the
+    paper's model of execution (section 2: "there is one log associated with
+    each physical data item").
+
+    The queue managers call [log_read]/[apply_write] at the instant an
+    operation is {e implemented} in the paper's sense (section 4.3): at lock
+    release for 2PL/PA operations, at lock-to-semi-lock transform or release
+    — whichever happens first — for T/O operations. *)
+
+type copy = int * int
+(** A physical copy as [(item, site)]. *)
+
+type log_entry = {
+  txn : int;
+  kind : Ccdb_model.Op.kind;
+  at : float;  (** simulation time of implementation *)
+}
+
+type t
+
+val create : Catalog.t -> t
+(** All copies start with value [0] written by pseudo-transaction [-1]. *)
+
+val catalog : t -> Catalog.t
+
+val read : t -> item:int -> site:int -> int
+(** Current value of the copy.  @raise Invalid_argument if the site holds no
+    copy of the item. *)
+
+val writer_of : t -> item:int -> site:int -> int
+(** Transaction id of the last implemented write ([-1] initially). *)
+
+val apply_write : t -> item:int -> site:int -> txn:int -> value:int -> at:float -> unit
+(** Implements a physical write: updates the value, appends to the version
+    history and the implementation log. *)
+
+val log_read : t -> item:int -> site:int -> txn:int -> at:float -> unit
+(** Implements a physical read (appends to the implementation log only). *)
+
+val discard_reads : t -> item:int -> site:int -> txn:int -> unit
+(** Removes the transaction's read entries from the copy's log.  Basic T/O
+    implements reads at grant time but a transaction may later be rejected
+    elsewhere and restart; the serializability oracle must only see the
+    committed projection of the execution, so the aborted attempt's reads
+    are withdrawn (reads have no effect on data, only on the log). *)
+
+val log : t -> item:int -> site:int -> log_entry list
+(** Implementation log of one copy, oldest first. *)
+
+val logs : t -> (copy * log_entry list) list
+(** All per-copy logs, copies in lexicographic order, entries oldest
+    first. *)
+
+val versions : t -> item:int -> site:int -> (int * int * float) list
+(** Version history [(txn, value, at)], oldest first, including the initial
+    version. *)

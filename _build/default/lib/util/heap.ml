@@ -1,0 +1,114 @@
+(* Binary min-heap backed by a dynamic array.  Each slot stores the element
+   together with its handle record; the handle tracks the slot index so that
+   [remove] can find and delete an arbitrary element in O(log n). *)
+
+type slot = { mutable index : int }
+
+type handle = slot
+
+type 'a cell = { value : 'a; slot : slot }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable cells : 'a cell option array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; cells = Array.make 16 None; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let cell_at t i =
+  match t.cells.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let set t i c =
+  t.cells.(i) <- Some c;
+  c.slot.index <- i
+
+let grow t =
+  let cap = Array.length t.cells in
+  if t.size >= cap then begin
+    let bigger = Array.make (cap * 2) None in
+    Array.blit t.cells 0 bigger 0 cap;
+    t.cells <- bigger
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let ci = cell_at t i and cp = cell_at t parent in
+    if t.cmp ci.value cp.value < 0 then begin
+      set t parent ci;
+      set t i cp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp (cell_at t l).value (cell_at t !smallest).value < 0 then
+    smallest := l;
+  if r < t.size && t.cmp (cell_at t r).value (cell_at t !smallest).value < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    let ci = cell_at t i and cs = cell_at t !smallest in
+    set t i cs;
+    set t !smallest ci;
+    sift_down t !smallest
+  end
+
+let push t value =
+  grow t;
+  let slot = { index = t.size } in
+  t.cells.(t.size) <- Some { value; slot };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  slot
+
+let peek t = if t.size = 0 then None else Some (cell_at t 0).value
+
+(* Remove the element at slot [i], restoring the heap property. *)
+let delete_at t i =
+  let removed = cell_at t i in
+  removed.slot.index <- -1;
+  let last = t.size - 1 in
+  t.size <- last;
+  if i <> last then begin
+    let moved = cell_at t last in
+    t.cells.(last) <- None;
+    set t i moved;
+    sift_down t i;
+    sift_up t i
+  end
+  else t.cells.(last) <- None;
+  removed.value
+
+let pop t = if t.size = 0 then None else Some (delete_at t 0)
+
+let mem t h = h.index >= 0 && h.index < t.size
+  && (match t.cells.(h.index) with Some c -> c.slot == h | None -> false)
+
+let remove t h =
+  if mem t h then begin
+    ignore (delete_at t h.index);
+    true
+  end
+  else false
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    (match t.cells.(i) with Some c -> c.slot.index <- -1 | None -> ());
+    t.cells.(i) <- None
+  done;
+  t.size <- 0
+
+let to_sorted_list t =
+  let values = ref [] in
+  for i = 0 to t.size - 1 do
+    values := (cell_at t i).value :: !values
+  done;
+  List.sort t.cmp !values

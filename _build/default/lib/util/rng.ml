@@ -1,0 +1,89 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1), scaled. *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  let unit = Int64.to_float bits *. (1.0 /. 9007199254740992.0) in
+  unit *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -. mean *. log u
+
+let uniform_in t ~lo ~hi = lo +. float t (hi -. lo)
+
+let zipf_sampler ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf_sampler: n must be positive";
+  if theta < 0. then invalid_arg "Rng.zipf_sampler: theta must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** theta)) in
+  let cdf = Array.make n 0.0 in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc /. total)
+    weights;
+  fun t ->
+    let u = float t 1.0 in
+    (* binary search for the first index with cdf.(i) >= u *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)
+
+let shuffle t arr =
+  let len = Array.length arr in
+  for i = len - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct t ~n ~universe =
+  if n < 0 || n > universe then
+    invalid_arg "Rng.sample_distinct: need 0 <= n <= universe";
+  (* Floyd's algorithm: O(n) expected draws, no O(universe) allocation. *)
+  let module Iset = Set.Make (Int) in
+  let rec fill chosen j =
+    if j >= universe then chosen
+    else
+      let r = int t (j + 1) in
+      let chosen = if Iset.mem r chosen then Iset.add j chosen else Iset.add r chosen in
+      fill chosen (j + 1)
+  in
+  let chosen = fill Iset.empty (universe - n) in
+  Iset.elements chosen

@@ -1,0 +1,81 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  (* sorted cache, invalidated on add *)
+  mutable sorted : float array option;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; sum = 0.; min_v = infinity; max_v = neg_infinity;
+    samples = []; sorted = None }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty";
+  t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted t in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+  let idx = max 0 (min (t.n - 1) (rank - 1)) in
+  a.(idx)
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (List.rev a.samples);
+  List.iter (add t) (List.rev b.samples);
+  t
+
+module Ci = struct
+  let mean_ci95 xs =
+    let n = Array.length xs in
+    if n = 0 then (0., 0.)
+    else begin
+      let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+      if n < 2 then (mean, 0.)
+      else begin
+        let var =
+          Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+          /. float_of_int (n - 1)
+        in
+        let halfwidth = 1.96 *. sqrt (var /. float_of_int n) in
+        (mean, halfwidth)
+      end
+    end
+end

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output.
+
+    Renders aligned monospace tables of the kind the benchmark harness prints
+    for each reproduced experiment, plus CSV export for offline plotting. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val render : t -> string
+(** Aligned text rendering, including a header separator line. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines). *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float formatting helper ([decimals] defaults to 2);
+    renders NaN as ["-"]. *)

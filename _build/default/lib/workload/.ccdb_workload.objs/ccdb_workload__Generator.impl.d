@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Ccdb_model Ccdb_util Format List

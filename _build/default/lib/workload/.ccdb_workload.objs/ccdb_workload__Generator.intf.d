@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Ccdb_model Ccdb_util Format

@@ -1,0 +1,55 @@
+(** Synthetic transaction workloads.
+
+    The specification covers exactly the parameters the paper names as
+    performance-relevant (sections 1 and 5): arrival rate [lambda]
+    (Poisson), transaction size [st], the read/write mix, data-access skew,
+    transmission delay (owned by the network config), and compute time.
+    A protocol mix assigns each generated transaction its concurrency
+    control protocol (ignored by the dynamic selector). *)
+
+type access =
+  | Uniform
+  | Zipf of float  (** skew theta > 0 *)
+  | Hotspot of { hot_items : int; hot_prob : float }
+      (** a fraction [hot_prob] of accesses land uniformly in the first
+          [hot_items] items *)
+
+type spec = {
+  arrival_rate : float;   (** transactions per time unit (Poisson process) *)
+  size_min : int;         (** minimum items accessed *)
+  size_max : int;         (** maximum items accessed (inclusive) *)
+  read_fraction : float;  (** probability an accessed item is read *)
+  access : access;
+  compute_mean : float;   (** mean of the exponential compute time *)
+  protocol_mix : (Ccdb_model.Protocol.t * float) list;
+      (** weights, normalised internally; must be non-empty *)
+}
+
+val default : spec
+(** rate 0.05, size 1-3, read fraction 0.5, uniform access, compute mean 5.,
+    all-2PL. *)
+
+val validate : spec -> items:int -> unit
+(** @raise Invalid_argument on nonsensical parameters (non-positive rate,
+    [size_max > items], empty mix, fractions outside [0,1], ...). *)
+
+type t
+
+val create : spec -> sites:int -> items:int -> Ccdb_util.Rng.t -> t
+(** The generator owns the RNG passed in; validation as {!validate}. *)
+
+val generate : t -> n:int -> start:float -> (float * Ccdb_model.Txn.t) list
+(** [generate t ~n ~start] draws [n] transactions with absolute submission
+    times from a Poisson process beginning at [start].  Transaction ids
+    count up from 1 on first use and keep increasing across calls.  Sites
+    are assigned round-robin randomised; read-only and write-only
+    transactions arise naturally from the mix (a transaction whose draw
+    leaves it with no accesses gets one access forced). *)
+
+val of_trace : (float * Ccdb_model.Txn.t) list -> (float * Ccdb_model.Txn.t) list
+(** Trace replay helper: validates a hand-written or recorded arrival list
+    (times non-decreasing, ids unique) and returns it unchanged, so traces
+    and generated workloads flow through the same driver code path.
+    @raise Invalid_argument on a malformed trace. *)
+
+val pp_spec : Format.formatter -> spec -> unit

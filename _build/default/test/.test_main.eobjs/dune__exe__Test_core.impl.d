@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Ccdb_util Core Int List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ccdb_harness Ccdb_model Ccdb_util Ccdb_workload Float List Option String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_harness Test_model Test_protocols Test_serial Test_sim Test_stl Test_storage Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ccdb_model Format List QCheck QCheck_alcotest

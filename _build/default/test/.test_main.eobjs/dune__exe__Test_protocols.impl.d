@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Ccdb_model Ccdb_protocols Ccdb_serial Ccdb_sim Ccdb_storage Ccdb_util Core List QCheck QCheck_alcotest

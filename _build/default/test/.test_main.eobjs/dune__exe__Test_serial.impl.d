@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Ccdb_model Ccdb_serial Ccdb_storage Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ccdb_sim Ccdb_util List

@@ -1,0 +1,1 @@
+test/test_stl.ml: Alcotest Ccdb_harness Ccdb_model Ccdb_protocols Ccdb_sim Ccdb_stl Ccdb_storage Ccdb_util Ccdb_workload Float Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Ccdb_model Ccdb_storage Int List QCheck QCheck_alcotest

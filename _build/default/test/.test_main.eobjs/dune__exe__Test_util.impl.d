@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccdb_util Float Fun Gen Int List Option QCheck QCheck_alcotest String

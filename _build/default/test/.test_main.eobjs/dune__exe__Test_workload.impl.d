@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ccdb_model Ccdb_util Ccdb_workload List QCheck QCheck_alcotest

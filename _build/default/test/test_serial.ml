@@ -1,0 +1,208 @@
+(* Tests for Ccdb_serial: conflict graphs and serializability checks. *)
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let entry txn kind at : Ccdb_storage.Store.log_entry = { txn; kind; at }
+let r txn at = entry txn Ccdb_model.Op.Read at
+let w txn at = entry txn Ccdb_model.Op.Write at
+
+(* --- Conflict_graph ------------------------------------------------------ *)
+
+let test_graph_edges_from_log () =
+  (* log on one copy: r1 w2 r3  =>  1->2 (rw), 2->3 (wr) *)
+  let logs = [ ((0, 0), [ r 1 1.; w 2 2.; r 3 3. ]) ] in
+  let g = Ccdb_serial.Conflict_graph.of_logs logs in
+  check (Alcotest.list Alcotest.int) "nodes" [ 1; 2; 3 ]
+    (Ccdb_serial.Conflict_graph.nodes g);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "edges"
+    [ (1, 2); (2, 3) ]
+    (Ccdb_serial.Conflict_graph.edges g)
+
+let test_graph_reads_dont_conflict () =
+  let logs = [ ((0, 0), [ r 1 1.; r 2 2.; r 3 3. ]) ] in
+  let g = Ccdb_serial.Conflict_graph.of_logs logs in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "no edges" []
+    (Ccdb_serial.Conflict_graph.edges g)
+
+let test_graph_same_txn_no_self_edge () =
+  let logs = [ ((0, 0), [ w 1 1.; w 1 2. ]) ] in
+  let g = Ccdb_serial.Conflict_graph.of_logs logs in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "no self" []
+    (Ccdb_serial.Conflict_graph.edges g)
+
+let test_graph_acyclic () =
+  let g =
+    Ccdb_serial.Conflict_graph.of_edges ~nodes:[ 1; 2; 3 ]
+      ~edges:[ (1, 2); (2, 3); (1, 3) ]
+  in
+  check Alcotest.bool "acyclic" false (Ccdb_serial.Conflict_graph.has_cycle g);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "topo" (Some [ 1; 2; 3 ])
+    (Ccdb_serial.Conflict_graph.topological_order g)
+
+let test_graph_cycle () =
+  let g =
+    Ccdb_serial.Conflict_graph.of_edges ~nodes:[]
+      ~edges:[ (1, 2); (2, 3); (3, 1) ]
+  in
+  check Alcotest.bool "cyclic" true (Ccdb_serial.Conflict_graph.has_cycle g);
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "no topo" None
+    (Ccdb_serial.Conflict_graph.topological_order g);
+  match Ccdb_serial.Conflict_graph.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+    check Alcotest.int "cycle length" 3 (List.length cycle);
+    (* each consecutive pair (and the wrap-around) is an edge *)
+    let edges = Ccdb_serial.Conflict_graph.edges g in
+    let pairs =
+      match cycle with
+      | [] -> []
+      | first :: _ ->
+        let rec pair_up = function
+          | [ last ] -> [ (last, first) ]
+          | a :: (b :: _ as rest) -> (a, b) :: pair_up rest
+          | [] -> []
+        in
+        pair_up cycle
+    in
+    List.iter
+      (fun p ->
+        check Alcotest.bool "cycle edge exists" true (List.mem p edges))
+      pairs
+
+let test_graph_two_cycles () =
+  let g =
+    Ccdb_serial.Conflict_graph.of_edges ~nodes:[]
+      ~edges:[ (1, 2); (2, 1); (3, 4); (4, 3) ]
+  in
+  check Alcotest.bool "cyclic" true (Ccdb_serial.Conflict_graph.has_cycle g)
+
+let test_graph_isolated_node () =
+  let g = Ccdb_serial.Conflict_graph.of_edges ~nodes:[ 9 ] ~edges:[] in
+  check (Alcotest.list Alcotest.int) "node" [ 9 ]
+    (Ccdb_serial.Conflict_graph.nodes g);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "topo" (Some [ 9 ])
+    (Ccdb_serial.Conflict_graph.topological_order g)
+
+(* --- Check ---------------------------------------------------------------- *)
+
+let test_check_serializable () =
+  (* classic non-serializable interleaving on two items:
+     x: w1 r2 ; y: w2 r1  =>  1->2 and 2->1 *)
+  let bad = [ ((0, 0), [ w 1 1.; r 2 2. ]); ((1, 0), [ w 2 1.; r 1 2. ]) ] in
+  check Alcotest.bool "cyclic execution" false
+    (Ccdb_serial.Check.conflict_serializable bad);
+  check Alcotest.bool "witness" true
+    (Ccdb_serial.Check.violation_witness bad <> None);
+  let good = [ ((0, 0), [ w 1 1.; r 2 2. ]); ((1, 0), [ w 1 1.; r 2 2. ]) ] in
+  check Alcotest.bool "serializable" true
+    (Ccdb_serial.Check.conflict_serializable good);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "order" (Some [ 1; 2 ])
+    (Ccdb_serial.Check.serialization_order good)
+
+let test_brute_force_agrees_on_examples () =
+  let bad = [ ((0, 0), [ w 1 1.; r 2 2. ]); ((1, 0), [ w 2 1.; r 1 2. ]) ] in
+  check (Alcotest.option Alcotest.bool) "bad" (Some false)
+    (Ccdb_serial.Check.brute_force_serializable bad);
+  let good = [ ((0, 0), [ w 1 1.; w 2 2.; w 3 3. ]) ] in
+  check (Alcotest.option Alcotest.bool) "good" (Some true)
+    (Ccdb_serial.Check.brute_force_serializable good)
+
+let test_brute_force_gives_up () =
+  let logs =
+    [ ((0, 0), List.init 9 (fun i -> w (i + 1) (float_of_int i))) ]
+  in
+  check (Alcotest.option Alcotest.bool) "too many" None
+    (Ccdb_serial.Check.brute_force_serializable logs)
+
+(* random small logs: checker agrees with the brute-force oracle *)
+let random_logs_gen =
+  let open QCheck.Gen in
+  let entry_gen =
+    map2
+      (fun txn is_w ->
+        (txn, if is_w then Ccdb_model.Op.Write else Ccdb_model.Op.Read))
+      (int_range 1 5) bool
+  in
+  let log_gen = list_size (int_range 0 8) entry_gen in
+  map
+    (fun logs ->
+      List.mapi
+        (fun i entries ->
+          ( (i, 0),
+            List.mapi (fun j (txn, kind) -> entry txn kind (float_of_int j)) entries ))
+        logs)
+    (list_size (int_range 1 3) log_gen)
+
+let prop_checker_matches_brute_force =
+  qtest ~count:500 "checker agrees with brute force"
+    (QCheck.make random_logs_gen)
+    (fun logs ->
+      match Ccdb_serial.Check.brute_force_serializable logs with
+      | None -> true
+      | Some expected -> Ccdb_serial.Check.conflict_serializable logs = expected)
+
+let prop_topo_respects_edges =
+  qtest ~count:500 "topological order respects every conflict edge"
+    (QCheck.make random_logs_gen)
+    (fun logs ->
+      let g = Ccdb_serial.Conflict_graph.of_logs logs in
+      match Ccdb_serial.Conflict_graph.topological_order g with
+      | None -> Ccdb_serial.Conflict_graph.has_cycle g
+      | Some order ->
+        let pos = Hashtbl.create 8 in
+        List.iteri (fun i t -> Hashtbl.replace pos t i) order;
+        List.for_all
+          (fun (a, b) -> Hashtbl.find pos a < Hashtbl.find pos b)
+          (Ccdb_serial.Conflict_graph.edges g))
+
+let test_replica_consistent () =
+  let c = Ccdb_storage.Catalog.create ~items:1 ~sites:2 ~replication:2 in
+  let s = Ccdb_storage.Store.create c in
+  check Alcotest.bool "initially consistent" true
+    (Ccdb_serial.Check.replica_consistent s);
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:0 ~txn:1 ~value:5 ~at:1.;
+  check Alcotest.bool "half-written" false
+    (Ccdb_serial.Check.replica_consistent s);
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:1 ~txn:1 ~value:5 ~at:2.;
+  check Alcotest.bool "both copies" true
+    (Ccdb_serial.Check.replica_consistent s)
+
+let test_replica_order_violation () =
+  let c = Ccdb_storage.Catalog.create ~items:1 ~sites:2 ~replication:2 in
+  let s = Ccdb_storage.Store.create c in
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:0 ~txn:1 ~value:1 ~at:1.;
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:0 ~txn:2 ~value:2 ~at:2.;
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:1 ~txn:2 ~value:2 ~at:1.;
+  Ccdb_storage.Store.apply_write s ~item:0 ~site:1 ~txn:1 ~value:1 ~at:2.;
+  (* same writes, opposite order, different final values *)
+  check Alcotest.bool "order violation" false
+    (Ccdb_serial.Check.replica_consistent s)
+
+let suites =
+  [ ( "serial.graph",
+      [ Alcotest.test_case "edges from log" `Quick test_graph_edges_from_log;
+        Alcotest.test_case "reads don't conflict" `Quick test_graph_reads_dont_conflict;
+        Alcotest.test_case "no self edges" `Quick test_graph_same_txn_no_self_edge;
+        Alcotest.test_case "acyclic" `Quick test_graph_acyclic;
+        Alcotest.test_case "cycle witness" `Quick test_graph_cycle;
+        Alcotest.test_case "two cycles" `Quick test_graph_two_cycles;
+        Alcotest.test_case "isolated node" `Quick test_graph_isolated_node ] );
+    ( "serial.check",
+      [ Alcotest.test_case "serializable verdicts" `Quick test_check_serializable;
+        Alcotest.test_case "brute force examples" `Quick test_brute_force_agrees_on_examples;
+        Alcotest.test_case "brute force gives up" `Quick test_brute_force_gives_up;
+        Alcotest.test_case "replica consistency" `Quick test_replica_consistent;
+        Alcotest.test_case "replica order violation" `Quick test_replica_order_violation;
+        prop_checker_matches_brute_force;
+        prop_topo_respects_edges ] ) ]

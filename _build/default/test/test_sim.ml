@@ -1,0 +1,215 @@
+(* Tests for Ccdb_sim: Engine and Net. *)
+
+let check = Alcotest.check
+
+(* --- Engine ------------------------------------------------------------- *)
+
+let test_engine_order () =
+  let e = Ccdb_sim.Engine.create () in
+  let trace = ref [] in
+  let record tag () = trace := tag :: !trace in
+  ignore (Ccdb_sim.Engine.schedule e ~after:3. (record "c"));
+  ignore (Ccdb_sim.Engine.schedule e ~after:1. (record "a"));
+  ignore (Ccdb_sim.Engine.schedule e ~after:2. (record "b"));
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !trace);
+  check (Alcotest.float 1e-9) "clock" 3. (Ccdb_sim.Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Ccdb_sim.Engine.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Ccdb_sim.Engine.schedule e ~after:1. (fun () -> trace := i :: !trace))
+  done;
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.list Alcotest.int) "schedule order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !trace)
+
+let test_engine_nested_schedule () =
+  let e = Ccdb_sim.Engine.create () in
+  let trace = ref [] in
+  ignore
+    (Ccdb_sim.Engine.schedule e ~after:1. (fun () ->
+         trace := "outer" :: !trace;
+         ignore
+           (Ccdb_sim.Engine.schedule e ~after:1. (fun () ->
+                trace := "inner" :: !trace))));
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ]
+    (List.rev !trace);
+  check (Alcotest.float 1e-9) "clock" 2. (Ccdb_sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Ccdb_sim.Engine.create () in
+  let fired = ref false in
+  let h = Ccdb_sim.Engine.schedule e ~after:1. (fun () -> fired := true) in
+  check Alcotest.bool "cancelled" true (Ccdb_sim.Engine.cancel e h);
+  check Alcotest.bool "idempotent" false (Ccdb_sim.Engine.cancel e h);
+  Ccdb_sim.Engine.run e;
+  check Alcotest.bool "not fired" false !fired
+
+let test_engine_until () =
+  let e = Ccdb_sim.Engine.create () in
+  let fired = ref [] in
+  ignore (Ccdb_sim.Engine.schedule e ~after:1. (fun () -> fired := 1 :: !fired));
+  ignore (Ccdb_sim.Engine.schedule e ~after:5. (fun () -> fired := 5 :: !fired));
+  Ccdb_sim.Engine.run ~until:2. e;
+  check (Alcotest.list Alcotest.int) "only early" [ 1 ] (List.rev !fired);
+  check (Alcotest.float 1e-9) "clamped clock" 2. (Ccdb_sim.Engine.now e);
+  check Alcotest.int "pending" 1 (Ccdb_sim.Engine.pending e);
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.list Alcotest.int) "rest" [ 1; 5 ] (List.rev !fired)
+
+let test_engine_max_events () =
+  let e = Ccdb_sim.Engine.create () in
+  for i = 1 to 10 do
+    ignore (Ccdb_sim.Engine.schedule e ~after:(float_of_int i) ignore)
+  done;
+  Ccdb_sim.Engine.run ~max_events:4 e;
+  check Alcotest.int "processed" 4 (Ccdb_sim.Engine.processed e);
+  check Alcotest.int "pending" 6 (Ccdb_sim.Engine.pending e)
+
+let test_engine_negative_delay () =
+  let e = Ccdb_sim.Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Ccdb_sim.Engine.schedule e ~after:(-1.) ignore))
+
+let test_engine_past_schedule_at () =
+  let e = Ccdb_sim.Engine.create () in
+  ignore (Ccdb_sim.Engine.schedule e ~after:5. ignore);
+  Ccdb_sim.Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Ccdb_sim.Engine.schedule_at e ~at:1. ignore))
+
+let test_engine_step () =
+  let e = Ccdb_sim.Engine.create () in
+  check Alcotest.bool "empty step" false (Ccdb_sim.Engine.step e);
+  ignore (Ccdb_sim.Engine.schedule e ~after:1. ignore);
+  check Alcotest.bool "step" true (Ccdb_sim.Engine.step e);
+  check Alcotest.bool "drained" false (Ccdb_sim.Engine.step e)
+
+(* --- Net ---------------------------------------------------------------- *)
+
+let make_net ?(sites = 3) ?(jitter = 0.) () =
+  let e = Ccdb_sim.Engine.create () in
+  let rng = Ccdb_util.Rng.create ~seed:1 in
+  let config =
+    { Ccdb_sim.Net.sites; base_delay = 10.; jitter; local_delay = 0.1 }
+  in
+  (e, Ccdb_sim.Net.create e rng config)
+
+let test_net_delivery_delay () =
+  let e, net = make_net () in
+  let delivered_at = ref (-1.) in
+  Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+      delivered_at := Ccdb_sim.Engine.now e);
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.float 1e-9) "base delay" 10. !delivered_at
+
+let test_net_local_delay () =
+  let e, net = make_net () in
+  let delivered_at = ref (-1.) in
+  Ccdb_sim.Net.send net ~src:2 ~dst:2 ~kind:"m" (fun () ->
+      delivered_at := Ccdb_sim.Engine.now e);
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.float 1e-9) "local delay" 0.1 !delivered_at
+
+let test_net_counts () =
+  let e, net = make_net () in
+  Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"a" ignore;
+  Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"a" ignore;
+  Ccdb_sim.Net.send net ~src:1 ~dst:0 ~kind:"b" ignore;
+  Ccdb_sim.Engine.run e;
+  check Alcotest.int "total" 3 (Ccdb_sim.Net.messages_sent net);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "by kind"
+    [ ("a", 2); ("b", 1) ]
+    (Ccdb_sim.Net.messages_by_kind net);
+  Ccdb_sim.Net.reset_counters net;
+  check Alcotest.int "reset" 0 (Ccdb_sim.Net.messages_sent net)
+
+let test_net_fifo_per_channel () =
+  (* with jitter, later sends could overtake earlier ones; the channel must
+     stay FIFO *)
+  let e, net = make_net ~jitter:8. () in
+  let trace = ref [] in
+  for i = 1 to 20 do
+    Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+        trace := i :: !trace)
+  done;
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.list Alcotest.int) "fifo" (List.init 20 (fun i -> i + 1))
+    (List.rev !trace)
+
+let test_net_bad_site () =
+  let _, net = make_net () in
+  Alcotest.check_raises "range" (Invalid_argument "Net.send: site out of range")
+    (fun () -> Ccdb_sim.Net.send net ~src:0 ~dst:9 ~kind:"m" ignore)
+
+let suites =
+  [ ( "sim.engine",
+      [ Alcotest.test_case "time order" `Quick test_engine_order;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "max events" `Quick test_engine_max_events;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+        Alcotest.test_case "schedule in past" `Quick test_engine_past_schedule_at;
+        Alcotest.test_case "step" `Quick test_engine_step ] );
+    ( "sim.net",
+      [ Alcotest.test_case "remote delay" `Quick test_net_delivery_delay;
+        Alcotest.test_case "local delay" `Quick test_net_local_delay;
+        Alcotest.test_case "message counts" `Quick test_net_counts;
+        Alcotest.test_case "fifo per channel" `Quick test_net_fifo_per_channel;
+        Alcotest.test_case "bad site" `Quick test_net_bad_site ] ) ]
+
+(* --- failure injection ------------------------------------------------------- *)
+
+let test_net_slowdown_window () =
+  let e, net = make_net () in
+  Ccdb_sim.Net.inject_slowdown net ~from_time:0. ~until_time:5. ~factor:3. ;
+  let t1 = ref 0. and t2 = ref 0. in
+  (* sent inside the window: 3x delay *)
+  Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+      t1 := Ccdb_sim.Engine.now e);
+  (* a message sent after the window closes travels at normal speed *)
+  ignore
+    (Ccdb_sim.Engine.schedule e ~after:6. (fun () ->
+         Ccdb_sim.Net.send net ~src:1 ~dst:0 ~kind:"m" (fun () ->
+             t2 := Ccdb_sim.Engine.now e)));
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.float 1e-9) "slowed" 30. !t1;
+  check (Alcotest.float 1e-9) "normal after window" 16. !t2
+
+let test_net_site_slowdown () =
+  let e, net = make_net () in
+  Ccdb_sim.Net.inject_site_slowdown net ~site:2 ~from_time:0. ~until_time:100.
+    ~factor:5.;
+  let slow = ref 0. and fast = ref 0. in
+  Ccdb_sim.Net.send net ~src:0 ~dst:2 ~kind:"m" (fun () ->
+      slow := Ccdb_sim.Engine.now e);
+  Ccdb_sim.Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+      fast := Ccdb_sim.Engine.now e);
+  Ccdb_sim.Engine.run e;
+  check (Alcotest.float 1e-9) "affected site" 50. !slow;
+  check (Alcotest.float 1e-9) "other channel" 10. !fast
+
+let test_net_slowdown_validation () =
+  let _, net = make_net () in
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Net.inject_slowdown: bad time window") (fun () ->
+      Ccdb_sim.Net.inject_slowdown net ~from_time:5. ~until_time:5. ~factor:2.);
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Net.inject_slowdown: factor < 1") (fun () ->
+      Ccdb_sim.Net.inject_slowdown net ~from_time:0. ~until_time:1. ~factor:0.5)
+
+let suites =
+  suites
+  @ [ ( "sim.failure_injection",
+        [ Alcotest.test_case "slowdown window" `Quick test_net_slowdown_window;
+          Alcotest.test_case "site slowdown" `Quick test_net_site_slowdown;
+          Alcotest.test_case "validation" `Quick test_net_slowdown_validation ] ) ]

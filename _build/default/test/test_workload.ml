@@ -1,0 +1,147 @@
+(* Tests for the workload generator. *)
+
+module G = Ccdb_workload.Generator
+
+let check = Alcotest.check
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let make ?(spec = G.default) ?(sites = 4) ?(items = 16) ?(seed = 1) () =
+  G.create spec ~sites ~items (Ccdb_util.Rng.create ~seed)
+
+let test_generate_count_and_order () =
+  let g = make () in
+  let txns = G.generate g ~n:100 ~start:0. in
+  check Alcotest.int "count" 100 (List.length txns);
+  let rec increasing = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "arrival times increase" true (increasing txns);
+  (* ids unique and increasing from 1 *)
+  let ids = List.map (fun (_, t) -> t.Ccdb_model.Txn.id) txns in
+  check (Alcotest.list Alcotest.int) "ids" (List.init 100 (fun i -> i + 1)) ids
+
+let test_generate_respects_sizes () =
+  let spec = { G.default with size_min = 2; size_max = 4 } in
+  let g = make ~spec () in
+  List.iter
+    (fun (_, txn) ->
+      let size = Ccdb_model.Txn.size txn in
+      if size < 2 || size > 4 then Alcotest.failf "size %d out of range" size)
+    (G.generate g ~n:200 ~start:0.)
+
+let test_generate_poisson_rate () =
+  let spec = { G.default with arrival_rate = 0.5 } in
+  let g = make ~spec () in
+  let txns = G.generate g ~n:2000 ~start:0. in
+  let last, _ = List.nth txns 1999 in
+  let measured = 2000. /. last in
+  if abs_float (measured -. 0.5) > 0.05 then
+    Alcotest.failf "rate off: %f" measured
+
+let test_read_fraction_extremes () =
+  let all_reads = { G.default with read_fraction = 1. } in
+  let g = make ~spec:all_reads () in
+  List.iter
+    (fun (_, txn) ->
+      check (Alcotest.list Alcotest.int) "no writes" [] txn.Ccdb_model.Txn.write_set)
+    (G.generate g ~n:50 ~start:0.);
+  let all_writes = { G.default with read_fraction = 0. } in
+  let g = make ~spec:all_writes () in
+  List.iter
+    (fun (_, txn) ->
+      check (Alcotest.list Alcotest.int) "no reads" [] txn.Ccdb_model.Txn.read_set)
+    (G.generate g ~n:50 ~start:0.)
+
+let test_protocol_mix () =
+  let spec =
+    { G.default with
+      protocol_mix =
+        [ (Ccdb_model.Protocol.T_o, 3.); (Ccdb_model.Protocol.Pa, 1.) ] }
+  in
+  let g = make ~spec () in
+  let txns = G.generate g ~n:1000 ~start:0. in
+  let count p =
+    List.length
+      (List.filter
+         (fun (_, t) -> Ccdb_model.Protocol.equal t.Ccdb_model.Txn.protocol p)
+         txns)
+  in
+  check Alcotest.int "no 2PL" 0 (count Ccdb_model.Protocol.Two_pl);
+  let t_o = count Ccdb_model.Protocol.T_o in
+  if t_o < 650 || t_o > 850 then Alcotest.failf "mix skewed: %d" t_o
+
+let test_hotspot_access () =
+  let spec =
+    { G.default with
+      access = G.Hotspot { hot_items = 2; hot_prob = 0.9 };
+      size_min = 1; size_max = 1 }
+  in
+  let g = make ~spec ~items:100 () in
+  let txns = G.generate g ~n:1000 ~start:0. in
+  let hot =
+    List.length
+      (List.filter
+         (fun (_, t) ->
+           List.for_all (fun i -> i < 2) (Ccdb_model.Txn.accesses t |> List.map fst))
+         txns)
+  in
+  if hot < 800 then Alcotest.failf "hotspot not hot: %d" hot
+
+let test_validate_rejects_nonsense () =
+  let bad spec msg =
+    match G.validate spec ~items:16 with
+    | () -> Alcotest.failf "expected failure: %s" msg
+    | exception Invalid_argument _ -> ()
+  in
+  bad { G.default with arrival_rate = 0. } "rate";
+  bad { G.default with size_min = 0 } "size_min";
+  bad { G.default with size_max = 99 } "size_max";
+  bad { G.default with read_fraction = 1.5 } "fraction";
+  bad { G.default with protocol_mix = [] } "mix";
+  bad { G.default with access = G.Zipf 0. } "zipf"
+
+let test_sites_in_range () =
+  let g = make ~sites:3 () in
+  List.iter
+    (fun (_, txn) ->
+      let site = txn.Ccdb_model.Txn.site in
+      if site < 0 || site >= 3 then Alcotest.fail "site out of range")
+    (G.generate g ~n:200 ~start:0.)
+
+let prop_items_in_range =
+  qtest "generated items within the universe" QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = make ~seed ~items:8 () in
+      List.for_all
+        (fun (_, txn) ->
+          List.for_all
+            (fun (i, _) -> i >= 0 && i < 8)
+            (Ccdb_model.Txn.accesses txn))
+        (G.generate g ~n:50 ~start:0.))
+
+let prop_deterministic =
+  qtest "same seed, same workload" QCheck.(int_range 1 1000)
+    (fun seed ->
+      let dump g =
+        List.map
+          (fun (at, t) -> (at, t.Ccdb_model.Txn.id, t.Ccdb_model.Txn.read_set,
+                           t.Ccdb_model.Txn.write_set))
+          (G.generate g ~n:30 ~start:0.)
+      in
+      dump (make ~seed ()) = dump (make ~seed ()))
+
+let suites =
+  [ ( "workload.generator",
+      [ Alcotest.test_case "count and order" `Quick test_generate_count_and_order;
+        Alcotest.test_case "sizes" `Quick test_generate_respects_sizes;
+        Alcotest.test_case "poisson rate" `Quick test_generate_poisson_rate;
+        Alcotest.test_case "read fraction extremes" `Quick test_read_fraction_extremes;
+        Alcotest.test_case "protocol mix" `Quick test_protocol_mix;
+        Alcotest.test_case "hotspot" `Quick test_hotspot_access;
+        Alcotest.test_case "validation" `Quick test_validate_rejects_nonsense;
+        Alcotest.test_case "sites in range" `Quick test_sites_in_range;
+        prop_items_in_range;
+        prop_deterministic ] ) ]
