@@ -4,11 +4,50 @@
 
    Run with: dune exec bench/main.exe
    Pass --quick for reduced transaction counts, --micro-only / --exp-only to
-   select one half. *)
+   select one half, --audit to statically verify a traced run of every
+   system against the paper's invariants before benchmarking. *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let exp_only = Array.exists (( = ) "--exp-only") Sys.argv
+let audit = Array.exists (( = ) "--audit") Sys.argv
+
+(* ----------------------------------------------------------------- audit *)
+
+let run_audit () =
+  print_endline "=== Invariant audit (one traced run per system) ===";
+  let spec =
+    { Ccdb_workload.Generator.default with
+      arrival_rate = 0.15;
+      protocol_mix =
+        [ (Ccdb_model.Protocol.Two_pl, 1.); (Ccdb_model.Protocol.T_o, 1.);
+          (Ccdb_model.Protocol.Pa, 1.) ] }
+  in
+  let setup = { Ccdb_harness.Driver.default_setup with items = 16 } in
+  let n_txns = if quick then 60 else 200 in
+  let failed = ref false in
+  List.iter
+    (fun mode ->
+      let r = Ccdb_harness.Driver.run ~setup ~n_txns ~audit:true mode spec in
+      let report = Option.get r.audit in
+      Printf.printf "%-18s %s\n%!"
+        (Ccdb_harness.Driver.mode_name mode)
+        (Ccdb_analysis.Report.summary report);
+      if not (Ccdb_analysis.Report.is_clean report) then begin
+        failed := true;
+        Format.printf "%a@." Ccdb_analysis.Report.pp report
+      end)
+    [ Ccdb_harness.Driver.Pure Ccdb_model.Protocol.Two_pl;
+      Ccdb_harness.Driver.Pure Ccdb_model.Protocol.T_o;
+      Ccdb_harness.Driver.Pure Ccdb_model.Protocol.Pa;
+      Ccdb_harness.Driver.Mvto; Ccdb_harness.Driver.Conservative;
+      Ccdb_harness.Driver.Unified; Ccdb_harness.Driver.Unified_full_lock;
+      Ccdb_harness.Driver.Dynamic ];
+  print_newline ();
+  if !failed then begin
+    print_endline "audit FAILED";
+    exit 1
+  end
 
 (* ----------------------------------------------------------- experiments *)
 
@@ -180,5 +219,6 @@ let run_micro () =
   print_string (Ccdb_util.Table.render table)
 
 let () =
+  if audit then run_audit ();
   if not micro_only then run_experiments ();
   if not exp_only then run_micro ()

@@ -183,6 +183,69 @@ let run_cmd =
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ size_min
       $ size_max $ qr $ seed $ mix $ detection $ prevention $ twr)
 
+(* -------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let open Cmdliner in
+  let mode =
+    Arg.(value & opt mode_conv Ccdb_harness.Driver.Unified
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"System to audit (same values as $(b,run) --mode).")
+  in
+  let lambda =
+    Arg.(value & opt float 0.1 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let txns = Arg.(value & opt int 400 & info [ "txns" ] ~doc:"Transactions.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Sites.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let repl =
+    Arg.(value & opt int 2 & info [ "replication" ] ~doc:"Copies per item.")
+  in
+  let qr =
+    Arg.(value & opt float 0.5 & info [ "read-fraction" ] ~doc:"Read fraction.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let mix =
+    Arg.(value & opt (list protocol_conv) Ccdb_model.Protocol.all
+         & info [ "mix" ]
+             ~doc:"Protocol mix for the unified mode (even weights).")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Print only the summary line, not findings.")
+  in
+  let run mode lambda txns sites items repl qr seed mix quiet =
+    let spec =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = lambda;
+        read_fraction = qr;
+        protocol_mix = List.map (fun p -> (p, 1.)) mix }
+    in
+    let setup =
+      { Ccdb_harness.Driver.default_setup with
+        sites; items; replication = repl; seed;
+        net = Ccdb_sim.Net.default_config ~sites }
+    in
+    let r = Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:true mode spec in
+    let report = Option.get r.audit in
+    Format.printf "mode:   %s@." (Ccdb_harness.Driver.mode_name mode);
+    if quiet then
+      Format.printf "audit:  %s@." (Ccdb_analysis.Report.summary report)
+    else Format.printf "audit:  %a@." Ccdb_analysis.Report.pp report;
+    if not (Ccdb_analysis.Report.is_clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run one simulation with full event tracing, then statically audit \
+          the trace against the paper's invariants (semi-lock compatibility, \
+          precedence conditions E1/E2, deadlock/restart theorems, \
+          serializability of the final logs).  Exits 1 on any \
+          error-severity finding.")
+    Term.(
+      const run $ mode $ lambda $ txns $ sites $ items $ repl $ qr $ seed
+      $ mix $ quiet)
+
 (* ---------------------------------------------------------- experiments *)
 
 let experiments_cmd =
@@ -339,4 +402,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ccdb_cli" ~doc)
-          [ run_cmd; experiments_cmd; sweep_cmd; stl_cmd ]))
+          [ run_cmd; analyze_cmd; experiments_cmd; sweep_cmd; stl_cmd ]))

@@ -1,0 +1,11 @@
+module Rt = Ccdb_protocols.Runtime
+
+let analyze ?store (events : Rt.event array) =
+  let findings =
+    Lock_audit.run events
+    @ Precedence_audit.run events
+    @ Theorem_audit.run ?store events
+  in
+  Report.make ~events_scanned:(Array.length events) findings
+
+let analyze_events ?store events = analyze ?store (Array.of_list events)

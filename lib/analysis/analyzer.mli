@@ -1,0 +1,21 @@
+(** Entry point: run every invariant checker over a completed event stream.
+
+    The analyzer is static — it never re-runs the execution.  It replays
+    the recorded events through three independent models:
+
+    - {!Lock_audit}: the semi-lock compatibility matrix of section 4.2;
+    - {!Precedence_audit}: conditions E1/E2 of the Precedence-Assignment
+      Model (sections 3 and 4.1);
+    - {!Theorem_audit}: Corollaries 1 and 2 and, when [store] is supplied,
+      Theorem 2 over the final implementation logs. *)
+
+val analyze :
+  ?store:Ccdb_storage.Store.t ->
+  Ccdb_protocols.Runtime.event array ->
+  Report.t
+
+val analyze_events :
+  ?store:Ccdb_storage.Store.t ->
+  Ccdb_protocols.Runtime.event list ->
+  Report.t
+(** Convenience wrapper over {!analyze} for [Trace.events]-style lists. *)

@@ -1,0 +1,43 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  check : string;
+  event_index : int option;
+  txns : int list;
+  copy : (int * int) option;
+  message : string;
+}
+
+let make ?(severity = Error) ?event_index ?(txns = []) ?copy ~check message =
+  { severity; check; event_index; txns; copy; message }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let idx = function Some i -> i | None -> max_int in
+    let c = Int.compare (idx a.event_index) (idx b.event_index) in
+    if c <> 0 then c else String.compare a.check b.check
+
+let pp ppf t =
+  Format.fprintf ppf "%-7s %-28s" (severity_to_string t.severity) t.check;
+  (match t.event_index with
+   | Some i -> Format.fprintf ppf " @@%-5d" i
+   | None -> Format.fprintf ppf "       ");
+  (match t.copy with
+   | Some (item, site) -> Format.fprintf ppf " item%d@@s%d" item site
+   | None -> ());
+  (match t.txns with
+   | [] -> ()
+   | txns ->
+     Format.fprintf ppf " {%s}"
+       (String.concat "," (List.map (Printf.sprintf "t%d") txns)));
+  Format.fprintf ppf "  %s" t.message

@@ -1,0 +1,32 @@
+(** One structured verdict from an invariant checker. *)
+
+type severity =
+  | Error    (** a paper invariant is violated: the execution is wrong *)
+  | Warning  (** suspicious but explainable (e.g. a phantom deadlock
+                 snapshot); worth human eyes, not an automatic failure *)
+  | Info     (** observation only *)
+
+type t = {
+  severity : severity;
+  check : string;  (** stable checker id, e.g. ["lock.conflict"] *)
+  event_index : int option;  (** offset into the analyzed event array *)
+  txns : int list;
+  copy : (int * int) option;  (** [(item, site)] when copy-local *)
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  ?event_index:int ->
+  ?txns:int list ->
+  ?copy:int * int ->
+  check:string ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Errors first, then by event index. *)
+
+val pp : Format.formatter -> t -> unit

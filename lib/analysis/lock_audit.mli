@@ -1,0 +1,8 @@
+(** Semi-lock race detector: replays grant/transform/promote/release events
+    against the RL/WL/SRL/SWL compatibility matrix of section 4.2 and flags
+    co-held incompatible pairs, pre-scheduled grants that are never
+    promoted, and strict-2PL violations (grant after commit, release before
+    commit). *)
+
+val run : Ccdb_protocols.Runtime.event array -> Finding.t list
+(** Findings in event order. *)

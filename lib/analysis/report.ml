@@ -1,0 +1,27 @@
+type t = {
+  findings : Finding.t list;  (* errors first, then by event index *)
+  events_scanned : int;
+}
+
+let make ~events_scanned findings =
+  { findings = List.stable_sort Finding.compare findings; events_scanned }
+
+let findings t = t.findings
+
+let by_severity sev t =
+  List.filter (fun (f : Finding.t) -> f.severity = sev) t.findings
+
+let errors t = by_severity Finding.Error t
+let warnings t = by_severity Finding.Warning t
+let is_clean t = errors t = []
+
+let summary t =
+  Printf.sprintf "%d events scanned: %d error(s), %d warning(s), %d info"
+    t.events_scanned
+    (List.length (errors t))
+    (List.length (warnings t))
+    (List.length (by_severity Finding.Info t))
+
+let pp ppf t =
+  Format.fprintf ppf "%s" (summary t);
+  List.iter (fun f -> Format.fprintf ppf "@\n  %a" Finding.pp f) t.findings

@@ -1,0 +1,129 @@
+(* Theorem auditor.
+
+   - Corollary 2 (of Theorem 3): every genuine deadlock cycle contains at
+     least one 2PL transaction, and the victim chosen to break it is a 2PL
+     transaction.  A detector snapshot that offered no victim is reported
+     as information only: asynchronous edge collection can assemble phantom
+     cycles, which the systems deliberately ignore.
+   - Corollary 1: a PA transaction is never restarted (it negotiates a
+     back-off instead) and is never chosen as a deadlock victim.
+   - Theorem 2: when the final store is supplied, the per-copy
+     implementation logs must be conflict-serializable and the replicas of
+     every item must converge. *)
+
+module Rt = Ccdb_protocols.Runtime
+
+let protocol_name = Ccdb_model.Protocol.to_string
+
+let run ?store (events : Rt.event array) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* latest known protocol per transaction (re-selection may change it
+     between attempts) *)
+  let protocol_of : (int, Ccdb_model.Protocol.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let is_pa txn =
+    match Hashtbl.find_opt protocol_of txn with
+    | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Pa
+    | None -> false
+  in
+  let is_two_pl txn =
+    match Hashtbl.find_opt protocol_of txn with
+    | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Two_pl
+    | None -> false
+  in
+  Array.iteri
+    (fun i event ->
+      match event with
+      | Rt.Lock_requested { txn; protocol; _ } ->
+        Hashtbl.replace protocol_of txn protocol
+      | Rt.Lock_granted { txn; protocol; _ } ->
+        Hashtbl.replace protocol_of txn protocol
+      | Rt.Txn_restarted { txn; reason; _ } ->
+        Hashtbl.replace protocol_of txn.id txn.protocol;
+        if Ccdb_model.Protocol.equal txn.protocol Ccdb_model.Protocol.Pa
+        then
+          add
+            (Finding.make ~event_index:i ~txns:[ txn.id ]
+               ~check:"thm.pa-restarted"
+               (Printf.sprintf
+                  "PA transaction t%d restarted (%s): contradicts \
+                   Corollary 1 (PA is restart-free)"
+                  txn.id
+                  (match reason with
+                   | Rt.To_rejected _ -> "rejection"
+                   | Rt.Deadlock_victim -> "deadlock victim"
+                   | Rt.Prevention_kill -> "prevention kill")))
+      | Rt.Txn_committed { txn; _ } ->
+        Hashtbl.replace protocol_of txn.id txn.protocol
+      | Rt.Deadlock_detected { cycle; victim; _ } -> (
+        match victim with
+        | None ->
+          add
+            (Finding.make ~severity:Finding.Info ~event_index:i ~txns:cycle
+               ~check:"thm.cycle-no-victim"
+               "detector snapshot offered no victim (phantom or already \
+                breaking)")
+        | Some v ->
+          if not (is_two_pl v) then
+            add
+              (Finding.make ~event_index:i ~txns:[ v ]
+                 ~check:"thm.victim-not-2pl"
+                 (Printf.sprintf
+                    "deadlock victim t%d is %s, not 2PL (Corollary 2)" v
+                    (match Hashtbl.find_opt protocol_of v with
+                     | Some p -> protocol_name p
+                     | None -> "unknown")));
+          if List.length cycle > 1 && not (List.exists is_two_pl cycle)
+          then
+            add
+              (Finding.make ~event_index:i ~txns:cycle
+                 ~check:"thm.cycle-without-2pl"
+                 "deadlock cycle contains no 2PL transaction \
+                  (contradicts Theorem 3 / Corollary 2)");
+          if is_pa v then
+            add
+              (Finding.make ~event_index:i ~txns:[ v ]
+                 ~check:"thm.pa-victim"
+                 (Printf.sprintf
+                    "PA transaction t%d aborted for deadlock: contradicts \
+                     Corollary 1"
+                    v))
+          else
+            (* a PA member of a mixed cycle is legitimate: Theorem 3 only
+               promises the cycle has a 2PL member to victimize, and the PA
+               transaction merely waits while the 2PL victim is aborted *)
+            List.iter
+              (fun m ->
+                if is_pa m then
+                  add
+                    (Finding.make ~severity:Finding.Info ~event_index:i
+                       ~txns:[ m ] ~check:"thm.pa-in-cycle"
+                       (Printf.sprintf
+                          "PA transaction t%d waits in a mixed deadlock \
+                           cycle (broken by a 2PL victim)"
+                          m)))
+              cycle)
+      | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
+      | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _ -> ())
+    events;
+  (match store with
+   | None -> ()
+   | Some store ->
+     let logs = Ccdb_storage.Store.logs store in
+     if not (Ccdb_serial.Check.conflict_serializable logs) then
+       add
+         (Finding.make
+            ~txns:
+              (Option.value ~default:[]
+                 (Ccdb_serial.Check.violation_witness logs))
+            ~check:"thm.not-serializable"
+            "implementation logs are not conflict-serializable \
+             (contradicts Theorem 2)");
+     if not (Ccdb_serial.Check.replica_consistent store) then
+       add
+         (Finding.make ~check:"thm.replica-divergence"
+            "replicas of at least one item diverge (contradicts \
+             read-one/write-all under Theorem 2)"));
+  List.rev !findings

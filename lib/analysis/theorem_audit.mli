@@ -1,0 +1,10 @@
+(** Theorem auditor: Corollary 2 (every deadlock cycle contains — and every
+    victim is — a 2PL transaction), Corollary 1 (PA transactions are never
+    restarted nor picked as victims), and, when the final store is given,
+    Theorem 2 (conflict-serializable logs, convergent replicas). *)
+
+val run :
+  ?store:Ccdb_storage.Store.t ->
+  Ccdb_protocols.Runtime.event array ->
+  Finding.t list
+(** Findings in event order; store-level findings last. *)

@@ -116,6 +116,8 @@ let rec pump t ((item, site) as copy) =
       Rt.emit t.rt
         (Rt.Lock_granted
            { txn = e.txn; protocol = e.protocol; op = e.op; item; site;
+             mode = e.lock; schedule;
+             ts = Some e.prec.Ccdb_model.Precedence.ts;
              at = Rt.now t.rt });
       (* T/O reads are implemented at grant: the value flows to the issuer
          now and the semi-read lock never delays conflicting T/O writes *)
@@ -131,10 +133,13 @@ let rec pump t ((item, site) as copy) =
           on_grant t txn_id ~epoch ~ts copy value schedule))
     grants
 
-and notify_promotions t ((_item, qm_site) as copy) promoted =
+and notify_promotions t ((item, qm_site) as copy) promoted =
   List.iter
     (fun (p : Q.entry) ->
       let txn_id = p.txn and epoch = p.epoch in
+      Rt.emit t.rt
+        (Rt.Lock_promoted
+           { txn = txn_id; item; site = qm_site; at = Rt.now t.rt });
       (* the queue manager tells the issuer its grant here became normal *)
       send t ~src:qm_site ~dst:p.site ~kind:"u-normal" (fun () ->
           on_normal t txn_id ~epoch copy))
@@ -166,7 +171,8 @@ and on_release_msg t ((item, site) as copy) txn_id value_opt =
     Rt.emit t.rt
       (Rt.Lock_released
          { txn = txn_id; protocol = e.protocol; op = e.op; item; site;
-           granted_at = e.granted_at; at; aborted = false });
+           granted_at = e.granted_at; at; aborted = false;
+           ts = Some e.prec.Ccdb_model.Precedence.ts });
     notify_promotions t copy promoted;
     pump t copy
 
@@ -174,6 +180,12 @@ and on_transform_msg t ((item, site) as copy) txn_id value_opt =
   match Q.transform (queue t copy) ~txn:txn_id with
   | None -> ()
   | Some e ->
+    (match e.lock with
+     | Some mode ->
+       Rt.emit t.rt
+         (Rt.Lock_transformed { txn = txn_id; item; site; mode;
+                                at = Rt.now t.rt })
+     | None -> ());
     (match e.op, value_opt with
      | Ccdb_model.Op.Write, Some value when not e.implemented ->
        (* the T/O write is implemented when its lock turns into a semi-lock *)
@@ -191,11 +203,16 @@ and on_abort_msg t ((item, site) as copy) txn_id =
     (if Ccdb_model.Protocol.equal e.protocol Ccdb_model.Protocol.T_o
         && Ccdb_model.Op.equal e.op Ccdb_model.Op.Read && e.lock <> None then
        Ccdb_storage.Store.discard_reads (Rt.store t.rt) ~item ~site ~txn:txn_id);
-    if e.lock <> None then
-      Rt.emit t.rt
-        (Rt.Lock_released
-           { txn = txn_id; protocol = e.protocol; op = e.op; item; site;
-             granted_at = e.granted_at; at = Rt.now t.rt; aborted = true });
+    (if e.lock <> None then
+       Rt.emit t.rt
+         (Rt.Lock_released
+            { txn = txn_id; protocol = e.protocol; op = e.op; item; site;
+              granted_at = e.granted_at; at = Rt.now t.rt; aborted = true;
+              ts = Some e.prec.Ccdb_model.Precedence.ts })
+     else
+       Rt.emit t.rt
+         (Rt.Request_withdrawn
+            { txn = txn_id; item; site; at = Rt.now t.rt }));
     notify_promotions t copy promoted;
     pump t copy
 
@@ -277,7 +294,12 @@ and check_progress t st =
         (fun ((item, site), _) ->
           send t ~src:st.txn.site ~dst:site ~kind:"u-update" (fun () ->
               (match Q.update_ts (queue t (item, site)) ~txn:st.txn.id ~ts:ts' with
-               | `Moved | `Revoked | `Absent -> ());
+               | (`Moved | `Revoked | `Absent) as r ->
+                 if r <> `Absent then
+                   Rt.emit t.rt
+                     (Rt.Ts_updated
+                        { txn = st.txn.id; item; site; ts = ts';
+                          revoked = (r = `Revoked); at = Rt.now t.rt }));
               pump t (item, site)))
         st.slots
   end
@@ -428,10 +450,21 @@ and begin_attempt t st =
     (fun (item, site, op) ->
       send t ~src:txn.site ~dst:site ~kind:"u-req" (fun () ->
           let q = queue t (item, site) in
-          (match
-             Q.request q ~txn:txn.id ~site:txn.site ~protocol:txn.protocol ~ts
-               ~interval ~epoch ~op
-           with
+          let verdict =
+            Q.request q ~txn:txn.id ~site:txn.site ~protocol:txn.protocol ~ts
+              ~interval ~epoch ~op
+          in
+          Rt.emit t.rt
+            (Rt.Lock_requested
+               { txn = txn.id; protocol = txn.protocol; op; item; site;
+                 origin = txn.site; ts;
+                 outcome =
+                   (match verdict with
+                    | Q.Accepted -> Rt.Req_admitted
+                    | Q.Rejected -> Rt.Req_rejected
+                    | Q.Backoff ts' -> Rt.Req_backoff ts');
+                 at = Rt.now t.rt });
+          (match verdict with
            | Q.Accepted -> ()
            | Q.Rejected ->
              let ts = match ts with Some v -> v | None -> assert false in
@@ -464,20 +497,24 @@ let choose_victim t cycle =
   (* a member already aborted for this cycle will break it on its own;
      aborting a second member is pure churn (and with repeated collisions
      can alternate forever) *)
-  if List.exists restarting cycle then None
-  else begin
-    let two_pl_waiting id =
-      match Hashtbl.find_opt t.states id with
-      | Some st ->
-        st.phase = Negotiating
-        && Ccdb_model.Protocol.equal st.txn.protocol Ccdb_model.Protocol.Two_pl
-      | None -> false
-    in
-    match List.filter two_pl_waiting cycle with
-    | [] -> None (* Corollary 2: a real deadlock always offers a 2PL victim;
-                    anything else is a transient snapshot, re-checked later *)
-    | candidates -> Some (List.fold_left max min_int candidates)
-  end
+  let victim =
+    if List.exists restarting cycle then None
+    else begin
+      let two_pl_waiting id =
+        match Hashtbl.find_opt t.states id with
+        | Some st ->
+          st.phase = Negotiating
+          && Ccdb_model.Protocol.equal st.txn.protocol Ccdb_model.Protocol.Two_pl
+        | None -> false
+      in
+      match List.filter two_pl_waiting cycle with
+      | [] -> None (* Corollary 2: a real deadlock always offers a 2PL victim;
+                      anything else is a transient snapshot, re-checked later *)
+      | candidates -> Some (List.fold_left max min_int candidates)
+    end
+  in
+  Rt.emit t.rt (Rt.Deadlock_detected { cycle; victim; at = Rt.now t.rt });
+  victim
 
 (* wait-for targets of [txn] across the queues hosted at [site] *)
 let local_waits_on t ~site ~txn =
@@ -552,7 +589,13 @@ let create ?(config = default_config) ?reselect rt =
                    Ccdb_model.Protocol.equal st.txn.protocol
                      Ccdb_model.Protocol.Two_pl
                  | None -> false);
-             on_deadlock = (fun initiator -> abort_victim t initiator) })
+             on_deadlock =
+               (fun initiator ->
+                 Rt.emit t.rt
+                   (Rt.Deadlock_detected
+                      { cycle = [ initiator ]; victim = Some initiator;
+                        at = Rt.now t.rt });
+                 abort_victim t initiator) })
   in
   t.detector <- Some detector;
   t

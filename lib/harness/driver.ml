@@ -41,6 +41,7 @@ type result = {
   summary : Metrics.summary;
   runtime : Rt.t;
   decisions : (Ccdb_model.Protocol.t * int) list;
+  audit : Ccdb_analysis.Report.t option;
 }
 
 (* A uniform submit interface over the five system shapes. *)
@@ -168,7 +169,8 @@ let build_system ~(setup : setup) mode rt =
             (force_protocol Ccdb_model.Protocol.T_o txn));
       decisions = decisions_of_tally }
 
-let run ?(setup = default_setup) ?(n_txns = 200) ?observer mode spec =
+let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
+    mode spec =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
@@ -176,6 +178,7 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer mode spec =
   in
   let rt = Rt.create ~seed:setup.seed ~net_config:net ~catalog () in
   (match observer with Some f -> f rt | None -> ());
+  let trace = if audit then Some (Trace.attach rt) else None in
   let system = build_system ~setup mode rt in
   let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
   let generator =
@@ -190,7 +193,18 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer mode spec =
              system.submit txn)))
     arrivals;
   Rt.quiesce ~max_events:50_000_000 rt;
-  { summary = Metrics.summarize rt; runtime = rt; decisions = system.decisions () }
+  let audit =
+    Option.map
+      (fun tr ->
+        (* MVTO keeps the physical store as a per-copy newest-version cache,
+           not a write-all log, so the single-version store checks do not
+           apply (its executions are verified by [Mvto_system.verify]). *)
+        let store = match mode with Mvto -> None | _ -> Some (Rt.store rt) in
+        Ccdb_analysis.Analyzer.analyze ?store (Trace.to_array tr))
+      trace
+  in
+  { summary = Metrics.summarize rt; runtime = rt;
+    decisions = system.decisions (); audit }
 
 let run_replicated ?(setup = default_setup) ?(n_txns = 200) ?(replications = 3)
     mode spec metric =

@@ -52,19 +52,23 @@ type result = {
   runtime : Ccdb_protocols.Runtime.t;
   decisions : (Ccdb_model.Protocol.t * int) list;
       (** protocol routing (meaningful for [Dynamic] and [Unified]) *)
+  audit : Ccdb_analysis.Report.t option;
+      (** invariant-analysis report ([Some] iff [run ~audit:true]) *)
 }
 
 val run :
   ?setup:setup ->
   ?n_txns:int ->
   ?observer:(Ccdb_protocols.Runtime.t -> unit) ->
+  ?audit:bool ->
   mode ->
   Ccdb_workload.Generator.spec ->
   result
 (** Generates [n_txns] (default 200) transactions, schedules them at their
     Poisson arrival times, runs to quiescence and summarizes.  [observer] is
     invoked on the fresh runtime before any event fires (to subscribe
-    estimators or probes).
+    estimators or probes).  With [~audit:true] the full event stream is
+    traced and replayed through {!Ccdb_analysis.Analyzer} after the run.
     @raise Failure if the run livelocks (event budget exhausted). *)
 
 val run_replicated :

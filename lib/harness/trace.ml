@@ -9,17 +9,57 @@ let attach rt =
 
 let events t = List.rev t.events
 let count t = List.length t.events
+let to_array t = Array.of_list (events t)
+
+let pp_ts ppf = function
+  | Some ts -> Format.fprintf ppf " ts=%d" ts
+  | None -> ()
 
 let pp_event ppf (e : Rt.event) =
   match e with
-  | Rt.Lock_granted { txn; protocol; op; item; site; at } ->
-    Format.fprintf ppf "%8.1f  grant    t%d [%a] %a(item%d@@s%d)" at txn
+  | Rt.Lock_requested { txn; protocol; op; item; site; ts; outcome; at; _ } ->
+    let verdict =
+      match outcome with
+      | Rt.Req_admitted -> "admitted"
+      | Rt.Req_rejected -> "rejected"
+      | Rt.Req_backoff ts' -> Printf.sprintf "backoff->%d" ts'
+      | Rt.Req_ignored -> "ignored"
+    in
+    Format.fprintf ppf "%8.1f  request  t%d [%a] %a(item%d@@s%d)%a %s" at txn
+      Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site pp_ts ts
+      verdict
+  | Rt.Lock_granted { txn; protocol; op; item; site; mode; schedule; ts; at } ->
+    Format.fprintf ppf "%8.1f  grant    t%d [%a] %a(item%d@@s%d)%s%s%a" at txn
       Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site
-  | Rt.Lock_released { txn; protocol; op; item; site; at; aborted; granted_at } ->
-    Format.fprintf ppf "%8.1f  %s  t%d [%a] %a(item%d@@s%d) held %.1f" at
+      (match mode with
+       | Some m -> " " ^ Ccdb_model.Lock.to_string m
+       | None -> "")
+      (match schedule with
+       | Ccdb_model.Lock.Pre_scheduled -> " presched"
+       | Ccdb_model.Lock.Normal -> "")
+      pp_ts ts
+  | Rt.Lock_promoted { txn; item; site; at } ->
+    Format.fprintf ppf "%8.1f  promote  t%d (item%d@@s%d)" at txn item site
+  | Rt.Lock_transformed { txn; item; site; mode; at } ->
+    Format.fprintf ppf "%8.1f  semi     t%d (item%d@@s%d) -> %s" at txn item
+      site (Ccdb_model.Lock.to_string mode)
+  | Rt.Lock_released { txn; protocol; op; item; site; at; aborted; granted_at;
+                       ts } ->
+    Format.fprintf ppf "%8.1f  %s  t%d [%a] %a(item%d@@s%d)%a held %.1f" at
       (if aborted then "abort  " else "release")
-      txn Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site
+      txn Ccdb_model.Protocol.pp protocol Ccdb_model.Op.pp op item site pp_ts
+      ts
       (at -. granted_at)
+  | Rt.Request_withdrawn { txn; item; site; at } ->
+    Format.fprintf ppf "%8.1f  withdraw t%d (item%d@@s%d)" at txn item site
+  | Rt.Ts_updated { txn; item; site; ts; revoked; at } ->
+    Format.fprintf ppf "%8.1f  re-ts    t%d (item%d@@s%d) ts=%d%s" at txn item
+      site ts
+      (if revoked then " (grant revoked)" else "")
+  | Rt.Deadlock_detected { cycle; victim; at } ->
+    Format.fprintf ppf "%8.1f  deadlock cycle={%s} victim=%s" at
+      (String.concat " " (List.map (Printf.sprintf "t%d") cycle))
+      (match victim with Some v -> Printf.sprintf "t%d" v | None -> "-")
   | Rt.Txn_committed { txn; submitted_at; executed_at; restarts } ->
     Format.fprintf ppf "%8.1f  commit   t%d [%a] after %d restarts (S=%.1f)"
       executed_at txn.id Ccdb_model.Protocol.pp txn.protocol restarts

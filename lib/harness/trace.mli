@@ -10,6 +10,12 @@ val attach : Ccdb_protocols.Runtime.t -> t
 val events : t -> Ccdb_protocols.Runtime.event list
 (** Recorded events, oldest first. *)
 
+val to_array : t -> Ccdb_protocols.Runtime.event array
+(** Recorded events, oldest first, as an array (for indexed analysis). *)
+
+val pp_event : Format.formatter -> Ccdb_protocols.Runtime.event -> unit
+(** Renders a single event on one line. *)
+
 val render : ?limit:int -> t -> string
 (** One line per event ([limit] most recent when set), e.g.
     {v

@@ -101,7 +101,8 @@ and execute t copy ~item ~site e =
   Runtime.emit t.rt
     (Runtime.Lock_granted
        { txn = e.e_txn; protocol = Ccdb_model.Protocol.T_o; op = e.e_op; item;
-         site; at });
+         site; mode = None; schedule = Ccdb_model.Lock.Normal;
+         ts = Some e.e_ts; at });
   match e.e_op, e.e_value with
   | Ccdb_model.Op.Write, Some value ->
     Ccdb_storage.Store.apply_write store ~item ~site ~txn:e.e_txn ~value ~at;
@@ -109,7 +110,7 @@ and execute t copy ~item ~site e =
       (Runtime.Lock_released
          { txn = e.e_txn; protocol = Ccdb_model.Protocol.T_o;
            op = Ccdb_model.Op.Write; item; site; granted_at = at; at;
-           aborted = false });
+           aborted = false; ts = Some e.e_ts });
     (match Hashtbl.find_opt t.states e.e_txn with
      | None -> ()
      | Some st ->

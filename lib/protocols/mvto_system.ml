@@ -17,7 +17,6 @@ type read_record = {
   r_copy : int * int;
   r_ts : int;
   r_value : int;
-  r_txn : int;
 }
 
 type t = {
@@ -63,6 +62,7 @@ let emit_op t ~txn_id ~op ~item ~site =
   Runtime.emit t.rt
     (Runtime.Lock_granted
        { txn = txn_id; protocol = Ccdb_model.Protocol.T_o; op; item; site;
+         mode = None; schedule = Ccdb_model.Lock.Normal; ts = None;
          at = Runtime.now t.rt })
 
 (* deliver a read value home (skipped for a superseded attempt) *)
@@ -71,7 +71,7 @@ let rec send_value t ((item, site) as copy) ~reader ~ts ~value =
   | Some st when st.ts = ts ->
     emit_op t ~txn_id:reader ~op:Ccdb_model.Op.Read ~item ~site;
     record_read t ~txn_id:reader
-      { r_copy = copy; r_ts = ts; r_value = value; r_txn = reader };
+      { r_copy = copy; r_ts = ts; r_value = value };
     Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:st.txn.site
       ~kind:"mv-val" (fun () -> on_read_value t reader ~ts copy)
   | Some _ | None -> ()

@@ -68,7 +68,14 @@ let rec pump t ((item, site) as copy) =
       Runtime.emit t.rt
         (Runtime.Lock_granted
            { txn = e.txn; protocol = Ccdb_model.Protocol.Pa; op = e.op; item;
-             site; at = Runtime.now t.rt });
+             site;
+             mode =
+               Some
+                 (match e.op with
+                  | Ccdb_model.Op.Read -> Ccdb_model.Lock.Rl
+                  | Ccdb_model.Op.Write -> Ccdb_model.Lock.Wl);
+             schedule = Ccdb_model.Lock.Normal; ts = Some e.ts;
+             at = Runtime.now t.rt });
       let value = Ccdb_storage.Store.read store ~item ~site in
       let ts = e.ts in
       Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:e.site
@@ -119,7 +126,12 @@ and check_negotiation t st =
           Ccdb_sim.Net.send (Runtime.net t.rt) ~src:st.txn.site ~dst:site
             ~kind:"pa-update" (fun () ->
               (match Pa_queue.update_ts (queue t (item, site)) ~txn:st.txn.id ~ts:ts' with
-               | `Moved | `Revoked | `Absent -> ());
+               | (`Moved | `Revoked | `Absent) as r ->
+                 if r <> `Absent then
+                   Runtime.emit t.rt
+                     (Runtime.Ts_updated
+                        { txn = st.txn.id; item; site; ts = ts';
+                          revoked = (r = `Revoked); at = Runtime.now t.rt }));
               pump t (item, site)))
         st.slots
   end
@@ -187,7 +199,8 @@ and on_release t ((item, site) as copy) txn_id op wvalue =
     Runtime.emit t.rt
       (Runtime.Lock_released
          { txn = txn_id; protocol = Ccdb_model.Protocol.Pa; op; item; site;
-           granted_at = entry.granted_at; at; aborted = false });
+           granted_at = entry.granted_at; at; aborted = false;
+           ts = Some entry.ts });
     pump t copy
 
 (* --- submission --------------------------------------------------------- *)
@@ -211,7 +224,19 @@ let submit t ?payload txn =
       Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
         ~kind:"pa-req" (fun () ->
           let q = queue t (item, site) in
-          (match Pa_queue.request q ~txn:txn.id ~site:txn.site ~ts ~interval ~op with
+          let verdict =
+            Pa_queue.request q ~txn:txn.id ~site:txn.site ~ts ~interval ~op
+          in
+          Runtime.emit t.rt
+            (Runtime.Lock_requested
+               { txn = txn.id; protocol = Ccdb_model.Protocol.Pa; op; item;
+                 site; origin = txn.site; ts = Some ts;
+                 outcome =
+                   (match verdict with
+                    | Pa_queue.Accepted -> Runtime.Req_admitted
+                    | Pa_queue.Backoff ts' -> Runtime.Req_backoff ts');
+                 at = Runtime.now t.rt });
+          (match verdict with
            | Pa_queue.Accepted -> ()
            | Pa_queue.Backoff ts' ->
              Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site

@@ -3,13 +3,56 @@ type restart_reason =
   | Deadlock_victim
   | Prevention_kill
 
+(* Verdict a queue manager returned for a freshly arrived request. *)
+type request_outcome =
+  | Req_admitted
+  | Req_rejected                (* T/O: timestamp at or below r_ts/w_ts *)
+  | Req_backoff of int          (* PA: admitted blocked, proposed TS' *)
+  | Req_ignored                 (* Thomas Write Rule: dead write dropped *)
+
 type event =
+  | Lock_requested of {
+      txn : int;
+      protocol : Ccdb_model.Protocol.t;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      origin : int;             (* issuer's home site (precedence tie-break) *)
+      ts : int option;          (* None for 2PL requests *)
+      outcome : request_outcome;
+      at : float;
+    }
   | Lock_granted of {
       txn : int;
       protocol : Ccdb_model.Protocol.t;
       op : Ccdb_model.Op.kind;
       item : int;
       site : int;
+      mode : Ccdb_model.Lock.mode option;
+          (* None for timestamp-scheduled systems that hold no locks
+             (basic T/O performs, MVTO, conservative T/O) *)
+      schedule : Ccdb_model.Lock.schedule;
+      ts : int option;
+          (* the precedence timestamp the queue assigned this entry; for 2PL
+             under the unified queue this is the pinned high-water mark.
+             None when the system has no precedence space (pure 2PL, MVTO). *)
+      at : float;
+    }
+  | Lock_promoted of {
+      (* a pre-scheduled grant became normal: every conflicting earlier
+         grant is gone (semi-lock protocol, section 4.2 rule 3) *)
+      txn : int;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Lock_transformed of {
+      (* rule 4: a T/O transaction finished executing and turned this lock
+         into a semi-lock; writes are implemented at this point *)
+      txn : int;
+      item : int;
+      site : int;
+      mode : Ccdb_model.Lock.mode;
       at : float;
     }
   | Lock_released of {
@@ -21,6 +64,32 @@ type event =
       granted_at : float;
       at : float;
       aborted : bool;
+      ts : int option;          (* entry's precedence timestamp at release *)
+    }
+  | Request_withdrawn of {
+      (* a never-granted request left the queue (issuer restarted) *)
+      txn : int;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Ts_updated of {
+      (* PA phase 2: the queue re-positioned this entry at the agreed TS';
+         a grant already held at the old position is revoked *)
+      txn : int;
+      item : int;
+      site : int;
+      ts : int;
+      revoked : bool;
+      at : float;
+    }
+  | Deadlock_detected of {
+      (* a detector observed a wait-for cycle; [victim], when chosen, is the
+         transaction aborted to break it.  Edge-chasing detectors know only
+         the initiating transaction, so [cycle] may be a singleton. *)
+      cycle : int list;
+      victim : int option;
+      at : float;
     }
   | Txn_committed of {
       txn : Ccdb_model.Txn.t;
@@ -107,7 +176,9 @@ let emit t event =
       | Prevention_kill ->
         t.counters.prevention_aborts <- t.counters.prevention_aborts + 1)
    | Pa_backoff _ -> t.counters.backoffs <- t.counters.backoffs + 1
-   | Lock_granted _ | Lock_released _ -> ());
+   | Lock_requested _ | Lock_granted _ | Lock_promoted _ | Lock_transformed _
+   | Lock_released _ | Request_withdrawn _ | Ts_updated _
+   | Deadlock_detected _ -> ());
   List.iter (fun f -> f event) t.listeners
 
 let counters t = t.counters

@@ -63,7 +63,8 @@ let rec drain t ((item, site) as copy) =
       Runtime.emit t.rt
         (Runtime.Lock_granted
            { txn = p.txn; protocol = Ccdb_model.Protocol.T_o; op = p.op; item;
-             site; at });
+             site; mode = None; schedule = Ccdb_model.Lock.Normal;
+             ts = Some p.ts; at });
       match p.op, p.value with
       | Ccdb_model.Op.Write, Some value ->
         Ccdb_storage.Store.apply_write store ~item ~site ~txn:p.txn ~value ~at;
@@ -71,7 +72,7 @@ let rec drain t ((item, site) as copy) =
           (Runtime.Lock_released
              { txn = p.txn; protocol = Ccdb_model.Protocol.T_o;
                op = Ccdb_model.Op.Write; item; site; granted_at = at; at;
-               aborted = false });
+               aborted = false; ts = Some p.ts });
         (* the write phase of the issuing transaction completes only when
            its writes have been applied: acknowledge *)
         (match Hashtbl.find_opt t.states p.txn with
@@ -126,11 +127,25 @@ and send_prewrites t st =
     st.awaiting <- copies;
     let ts = st.ts in
     List.iter
-      (fun ((_item, site) as copy) ->
+      (fun ((item, site) as copy) ->
         Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
           ~kind:"to-prewrite" (fun () ->
             let q = queue t copy in
-            match To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Write with
+            let verdict =
+              To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Write
+            in
+            Runtime.emit t.rt
+              (Runtime.Lock_requested
+                 { txn = txn.id; protocol = Ccdb_model.Protocol.T_o;
+                   op = Ccdb_model.Op.Write; item; site; origin = txn.site;
+                   ts = Some ts;
+                   outcome =
+                     (match verdict with
+                      | To_queue.Accepted -> Runtime.Req_admitted
+                      | To_queue.Rejected -> Runtime.Req_rejected
+                      | To_queue.Ignored -> Runtime.Req_ignored);
+                   at = Runtime.now t.rt });
+            match verdict with
             | To_queue.Rejected ->
               Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
                 ~kind:"to-reject" (fun () ->
@@ -238,6 +253,9 @@ and restart t st rejected_copy rejected_op =
         Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
           ~kind:"to-abort" (fun () ->
             To_queue.abort (queue t copy) ~txn:txn.id;
+            Runtime.emit t.rt
+              (Runtime.Request_withdrawn
+                 { txn = txn.id; item; site; at = Runtime.now t.rt });
             Ccdb_storage.Store.discard_reads (Runtime.store t.rt) ~item ~site
               ~txn:txn.id;
             drain t copy))
@@ -264,11 +282,25 @@ and begin_attempt t st =
   else begin
     let ts = st.ts in
     List.iter
-      (fun ((_item, site) as copy) ->
+      (fun ((item, site) as copy) ->
         Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
           ~kind:"to-read" (fun () ->
             let q = queue t copy in
-            match To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Read with
+            let verdict =
+              To_queue.request q ~txn:txn.id ~ts ~op:Ccdb_model.Op.Read
+            in
+            Runtime.emit t.rt
+              (Runtime.Lock_requested
+                 { txn = txn.id; protocol = Ccdb_model.Protocol.T_o;
+                   op = Ccdb_model.Op.Read; item; site; origin = txn.site;
+                   ts = Some ts;
+                   outcome =
+                     (match verdict with
+                      | To_queue.Accepted -> Runtime.Req_admitted
+                      | To_queue.Rejected -> Runtime.Req_rejected
+                      | To_queue.Ignored -> Runtime.Req_ignored);
+                   at = Runtime.now t.rt });
+            match verdict with
             | To_queue.Rejected ->
               Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:txn.site
                 ~kind:"to-reject" (fun () ->

@@ -100,7 +100,14 @@ and send_grant t copy item site (entry : Lock_table.entry) =
     Runtime.emit t.rt
       (Runtime.Lock_granted
          { txn = entry.txn; protocol = Ccdb_model.Protocol.Two_pl;
-           op = entry.op; item; site; at = Runtime.now t.rt });
+           op = entry.op; item; site;
+           mode =
+             Some
+               (match entry.op with
+                | Ccdb_model.Op.Read -> Ccdb_model.Lock.Rl
+                | Ccdb_model.Op.Write -> Ccdb_model.Lock.Wl);
+           schedule = Ccdb_model.Lock.Normal; ts = None;
+           at = Runtime.now t.rt });
     let value = Ccdb_storage.Store.read store ~item ~site in
     let attempt = entry.attempt in
     Ccdb_sim.Net.send (Runtime.net t.rt) ~src:site ~dst:st.txn.site
@@ -183,7 +190,7 @@ and on_release t ((item, site) as copy) txn_id attempt op wvalue granted_at =
     Runtime.emit t.rt
       (Runtime.Lock_released
          { txn = txn_id; protocol = Ccdb_model.Protocol.Two_pl; op; item; site;
-           granted_at; at; aborted = false });
+           granted_at; at; aborted = false; ts = None });
     pump t copy
 
 (* --- submission and restart ------------------------------------------ *)
@@ -212,6 +219,11 @@ let rec send_requests t st =
           let tbl = table t (item, site) in
           let proceed () =
             ignore (Lock_table.request tbl ~txn:txn.id ~attempt ~op);
+            Runtime.emit t.rt
+              (Runtime.Lock_requested
+                 { txn = txn.id; protocol = Ccdb_model.Protocol.Two_pl; op;
+                   item; site; origin = txn.site; ts = None;
+                   outcome = Runtime.Req_admitted; at = Runtime.now t.rt });
             pump t (item, site)
           in
           match t.config.prevention with
@@ -268,18 +280,22 @@ and abort_victim ?(reason = Runtime.Deadlock_victim) t victim =
               match Lock_table.release tbl ~txn:txn.id ~attempt:old_attempt with
               | None -> ()
               | Some entry ->
-                if entry.granted then begin
-                  let granted_at =
-                    match List.assoc_opt (item, site) granted_times with
-                    | Some (_, at) -> at
-                    | None -> Runtime.now t.rt
-                  in
-                  Runtime.emit t.rt
-                    (Runtime.Lock_released
-                       { txn = txn.id; protocol = Ccdb_model.Protocol.Two_pl;
-                         op; item; site; granted_at; at = Runtime.now t.rt;
-                         aborted = true })
-                end;
+                (if entry.granted then begin
+                   let granted_at =
+                     match List.assoc_opt (item, site) granted_times with
+                     | Some (_, at) -> at
+                     | None -> Runtime.now t.rt
+                   in
+                   Runtime.emit t.rt
+                     (Runtime.Lock_released
+                        { txn = txn.id; protocol = Ccdb_model.Protocol.Two_pl;
+                          op; item; site; granted_at; at = Runtime.now t.rt;
+                          aborted = true; ts = None })
+                 end
+                 else
+                   Runtime.emit t.rt
+                     (Runtime.Request_withdrawn
+                        { txn = txn.id; item; site; at = Runtime.now t.rt }));
                 pump t (item, site)))
         (copies_of t.rt txn);
       st.attempt <- st.attempt + 1;
@@ -322,8 +338,14 @@ let create ?(config = default_config) rt =
                | None -> false
              in
              (* the cycle is already being broken by an earlier victim *)
-             if List.exists restarting cycle then None
-             else Deadlock.youngest cycle)
+             let victim =
+               if List.exists restarting cycle then None
+               else Deadlock.youngest cycle
+             in
+             Runtime.emit t.rt
+               (Runtime.Deadlock_detected
+                  { cycle; victim; at = Runtime.now t.rt });
+             victim)
            ~victim_site:(fun txn_id ->
              match Hashtbl.find_opt t.states txn_id with
              | Some st when st.phase = Waiting -> Some st.txn.site
@@ -351,7 +373,13 @@ let create ?(config = default_config) rt =
                  | None -> []);
              local_waits_on = (fun ~site ~txn -> local_waits_on t ~site ~txn);
              may_initiate = (fun _ -> true);
-             on_deadlock = (fun initiator -> abort_victim t initiator) })
+             on_deadlock =
+               (fun initiator ->
+                 Runtime.emit t.rt
+                   (Runtime.Deadlock_detected
+                      { cycle = [ initiator ]; victim = Some initiator;
+                        at = Runtime.now t.rt });
+                 abort_victim t initiator) })
   in
   t.detector <- Some detector;
   t

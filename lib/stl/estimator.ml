@@ -122,6 +122,8 @@ let on_event t = function
        prob_observe t "2pl-abort" true
      | Rt.To_rejected op -> prob_observe t (op_key "to" op) true)
   | Rt.Pa_backoff { op; _ } -> prob_observe t (op_key "pa" op) true
+  | Rt.Lock_requested _ | Rt.Lock_promoted _ | Rt.Lock_transformed _
+  | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Deadlock_detected _ -> ()
 
 let create ?(priors = default_priors) rt =
   let t =

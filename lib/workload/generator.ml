@@ -43,7 +43,6 @@ let validate spec ~items =
 type t = {
   spec : spec;
   sites : int;
-  items : int;
   rng : Ccdb_util.Rng.t;
   sample_item : Ccdb_util.Rng.t -> int;
   mutable next_id : int;
@@ -62,7 +61,7 @@ let create spec ~sites ~items rng =
           Ccdb_util.Rng.int rng hot_items
         else Ccdb_util.Rng.int rng items
   in
-  { spec; sites; items; rng; sample_item; next_id = 1 }
+  { spec; sites; rng; sample_item; next_id = 1 }
 
 let pick_protocol t =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. t.spec.protocol_mix in

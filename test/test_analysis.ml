@@ -1,0 +1,185 @@
+(* The invariant analyzer, two ways:
+
+   - as an oracle: every driver mode, traced end to end, must audit clean
+     (zero error-severity findings);
+   - as a detector: hand-built corrupt traces seeded with specific
+     violations must each produce the expected finding. *)
+
+module Rt = Ccdb_protocols.Runtime
+module An = Ccdb_analysis
+module D = Ccdb_harness.Driver
+module G = Ccdb_workload.Generator
+module L = Ccdb_model.Lock
+module P = Ccdb_model.Protocol
+module Op = Ccdb_model.Op
+
+let check = Alcotest.check
+
+let checks_of report =
+  List.map (fun (f : An.Finding.t) -> f.check) (An.Report.findings report)
+
+let error_checks report =
+  List.map (fun (f : An.Finding.t) -> f.check) (An.Report.errors report)
+
+let has_error report name = List.mem name (error_checks report)
+
+let analyze events = An.Analyzer.analyze (Array.of_list events)
+
+let mk_txn ?(protocol = P.Two_pl) id =
+  Ccdb_model.Txn.make ~id ~site:0 ~read_set:[] ~write_set:[ 0 ]
+    ~compute_time:1. ~protocol
+
+(* ------------------------------------------------- oracle over the modes *)
+
+let small_setup = { D.default_setup with sites = 3; items = 12; replication = 2 }
+
+let spec =
+  { G.default with
+    arrival_rate = 0.08;
+    size_min = 1;
+    size_max = 3;
+    protocol_mix = [ (P.Two_pl, 1.); (P.T_o, 1.); (P.Pa, 1.) ] }
+
+let test_all_modes_audit_clean () =
+  List.iter
+    (fun mode ->
+      let r = D.run ~setup:small_setup ~n_txns:80 ~audit:true mode spec in
+      let report = Option.get r.audit in
+      let name = D.mode_name mode in
+      check Alcotest.(list string) (name ^ " audits clean") []
+        (error_checks report))
+    [ D.Pure P.Two_pl; D.Pure P.T_o; D.Pure P.Pa; D.Mvto; D.Conservative;
+      D.Unified; D.Unified_forced P.Two_pl; D.Unified_forced P.T_o;
+      D.Unified_forced P.Pa; D.Unified_full_lock; D.Dynamic ]
+
+let test_audit_off_by_default () =
+  let r = D.run ~setup:small_setup ~n_txns:10 (D.Pure P.T_o) spec in
+  check Alcotest.bool "no report without ~audit" true (r.audit = None)
+
+(* -------------------------------------------------- hand-built raw traces *)
+
+let grant ?(txn = 1) ?(protocol = P.Two_pl) ?(op = Op.Write) ?(item = 0)
+    ?(site = 0) ?(mode = Some L.Wl) ?(schedule = L.Normal) ?ts ~at () =
+  Rt.Lock_granted { txn; protocol; op; item; site; mode; schedule; ts; at }
+
+let release ?(txn = 1) ?(protocol = P.Two_pl) ?(op = Op.Write) ?(item = 0)
+    ?(site = 0) ?(granted_at = 0.) ?(aborted = false) ?ts ~at () =
+  Rt.Lock_released { txn; protocol; op; item; site; granted_at; at; aborted; ts }
+
+let request ?(txn = 1) ?(protocol = P.T_o) ?(op = Op.Read) ?(item = 0)
+    ?(site = 0) ?(origin = 0) ?ts ~outcome ~at () =
+  Rt.Lock_requested { txn; protocol; op; item; site; origin; ts; outcome; at }
+
+let test_legal_trace_is_clean () =
+  (* one strict-2PL write: grant, commit, then release *)
+  let report =
+    analyze
+      [ grant ~at:1. ();
+        Rt.Txn_committed
+          { txn = mk_txn 1; submitted_at = 0.; executed_at = 2.;
+            restarts = 0 };
+        release ~at:3. () ]
+  in
+  check Alcotest.bool "clean" true (An.Report.is_clean report);
+  check Alcotest.(list string) "no findings at all" [] (checks_of report)
+
+let test_detects_incompatible_coheld_locks () =
+  (* two plain write locks on the same copy, both Normal: forbidden by the
+     section 4.2 compatibility matrix *)
+  let report =
+    analyze [ grant ~txn:1 ~at:1. (); grant ~txn:2 ~at:2. () ]
+  in
+  check Alcotest.bool "lock.conflict reported" true
+    (has_error report "lock.conflict")
+
+let test_allows_pre_scheduled_over_semi () =
+  (* rule 2: a pre-scheduled grant over a held semi-lock is legal ... *)
+  let coheld =
+    [ grant ~txn:1 ~protocol:P.T_o ~mode:(Some L.Wl) ~ts:5 ~at:1. ();
+      (* rule 4: the executed write turns its lock into a semi-lock *)
+      Rt.Lock_transformed { txn = 1; item = 0; site = 0; mode = L.Swl; at = 2. };
+      grant ~txn:2 ~protocol:P.T_o ~op:Op.Read ~mode:(Some L.Rl)
+        ~schedule:L.Pre_scheduled ~ts:7 ~at:3. () ]
+  in
+  let report =
+    analyze
+      (coheld
+      @ [ release ~txn:1 ~protocol:P.T_o ~ts:5 ~at:3. ();
+          Rt.Lock_promoted { txn = 2; item = 0; site = 0; at = 4. };
+          release ~txn:2 ~protocol:P.T_o ~op:Op.Read ~ts:7 ~at:5. () ])
+  in
+  check Alcotest.(list string) "promoted run is clean" []
+    (error_checks report);
+  (* ... but it must be promoted before the trace ends *)
+  let unpromoted = analyze coheld in
+  check Alcotest.bool "lock.never-promoted reported" true
+    (has_error unpromoted "lock.never-promoted")
+
+let test_detects_release_before_commit () =
+  let report = analyze [ grant ~at:1. (); release ~at:2. () ] in
+  check Alcotest.bool "lock.release-before-commit reported" true
+    (has_error report "lock.release-before-commit")
+
+let test_detects_pa_restart () =
+  let report =
+    analyze
+      [ Rt.Txn_restarted
+          { txn = mk_txn ~protocol:P.Pa 7; reason = Rt.Deadlock_victim;
+            at = 1. } ]
+  in
+  check Alcotest.bool "thm.pa-restarted reported" true
+    (has_error report "thm.pa-restarted")
+
+let test_detects_bad_rejection () =
+  (* a T/O read rejected even though its timestamp clears the floor *)
+  let report =
+    analyze [ request ~ts:10 ~outcome:Rt.Req_rejected ~at:1. () ]
+  in
+  check Alcotest.bool "prec.bad-rejection reported" true
+    (has_error report "prec.bad-rejection")
+
+let test_detects_grant_order_violation () =
+  (* E2: t2 (ts 9) granted a lock while t1 (ts 5) still waits *)
+  let report =
+    analyze
+      [ request ~txn:1 ~ts:5 ~outcome:Rt.Req_admitted ~at:1. ();
+        request ~txn:2 ~ts:9 ~outcome:Rt.Req_admitted ~at:2. ();
+        grant ~txn:2 ~protocol:P.T_o ~op:Op.Read ~mode:(Some L.Rl) ~ts:9
+          ~at:3. () ]
+  in
+  check Alcotest.bool "prec.grant-order reported" true
+    (has_error report "prec.grant-order")
+
+let test_detects_non_2pl_victim () =
+  let report =
+    analyze
+      [ request ~txn:1 ~ts:5 ~outcome:Rt.Req_admitted ~at:1. ();
+        request ~txn:2 ~ts:9 ~outcome:Rt.Req_admitted ~at:2. ();
+        Rt.Deadlock_detected { cycle = [ 1; 2 ]; victim = Some 1; at = 3. } ]
+  in
+  check Alcotest.bool "thm.victim-not-2pl reported" true
+    (has_error report "thm.victim-not-2pl");
+  check Alcotest.bool "thm.cycle-without-2pl reported" true
+    (has_error report "thm.cycle-without-2pl")
+
+let suites =
+  [ ( "analysis",
+      [ Alcotest.test_case "all modes audit clean" `Slow
+          test_all_modes_audit_clean;
+        Alcotest.test_case "audit off by default" `Quick
+          test_audit_off_by_default;
+        Alcotest.test_case "legal trace is clean" `Quick
+          test_legal_trace_is_clean;
+        Alcotest.test_case "co-held conflicting locks" `Quick
+          test_detects_incompatible_coheld_locks;
+        Alcotest.test_case "pre-scheduled over semi" `Quick
+          test_allows_pre_scheduled_over_semi;
+        Alcotest.test_case "release before commit" `Quick
+          test_detects_release_before_commit;
+        Alcotest.test_case "PA restart" `Quick test_detects_pa_restart;
+        Alcotest.test_case "bad T/O rejection" `Quick
+          test_detects_bad_rejection;
+        Alcotest.test_case "grant-order violation" `Quick
+          test_detects_grant_order_violation;
+        Alcotest.test_case "non-2PL deadlock victim" `Quick
+          test_detects_non_2pl_victim ] ) ]

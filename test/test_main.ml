@@ -9,4 +9,5 @@ let () =
     @ Test_core.suites
     @ Test_stl.suites
     @ Test_workload.suites
-    @ Test_harness.suites)
+    @ Test_harness.suites
+    @ Test_analysis.suites)

@@ -180,6 +180,7 @@ let test_estimator_tracks_events () =
     Rt.emit rt
       (Rt.Lock_granted
          { txn = 1; protocol = Ccdb_model.Protocol.T_o; op; item = 0; site = 0;
+           mode = None; schedule = Ccdb_model.Lock.Normal; ts = None;
            at = 50. })
   in
   emit_grant Ccdb_model.Op.Read;
@@ -187,7 +188,8 @@ let test_estimator_tracks_events () =
   Rt.emit rt
     (Rt.Lock_released
        { txn = 1; protocol = Ccdb_model.Protocol.T_o; op = Ccdb_model.Op.Read;
-         item = 0; site = 0; granted_at = 10.; at = 34.; aborted = false });
+         item = 0; site = 0; granted_at = 10.; at = 34.; aborted = false;
+         ts = None });
   let snap = Est.snapshot est in
   check (Alcotest.float 1e-9) "hold ema initialised" 24. snap.t_o.u_hold;
   check (Alcotest.float 1e-9) "no rejects yet" 0. snap.t_o.p_reject_read;
@@ -237,7 +239,8 @@ let test_selector_picks_min () =
     Rt.emit rt
       (Rt.Lock_granted
          { txn = 1; protocol = Ccdb_model.Protocol.Pa; op = Ccdb_model.Op.Write;
-           item = 1; site = 1; at = 1. })
+           item = 1; site = 1; mode = Some Ccdb_model.Lock.Wl;
+           schedule = Ccdb_model.Lock.Normal; ts = Some 1; at = 1. })
   done;
   ignore (Ccdb_sim.Engine.schedule (Rt.engine rt) ~after:100. (fun () -> ()));
   Rt.run rt;
