@@ -1,5 +1,5 @@
 (* The benchmark binary: regenerates every reproduced experiment table
-   (E1-E10, see DESIGN.md section 5 and EXPERIMENTS.md) and then runs
+   (E1-E11, see DESIGN.md section 5 and EXPERIMENTS.md) and then runs
    bechamel micro-benchmarks of the core data structures.
 
    Run with: dune exec bench/main.exe
@@ -7,10 +7,30 @@
    select one half, --audit to statically verify a traced run of every
    system against the paper's invariants before benchmarking. *)
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
-let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
-let exp_only = Array.exists (( = ) "--exp-only") Sys.argv
-let audit = Array.exists (( = ) "--audit") Sys.argv
+let quick = ref false
+let micro_only = ref false
+let exp_only = ref false
+let audit = ref false
+
+let () =
+  let specs =
+    [ ("--quick", Arg.Set quick, " reduced transaction counts");
+      ("--micro-only", Arg.Set micro_only, " only the micro-benchmarks");
+      ("--exp-only", Arg.Set exp_only, " only the experiment tables");
+      ("--audit", Arg.Set audit,
+       " statically verify a traced run of every system first") ]
+  in
+  let usage = "usage: dune exec bench/main.exe -- [options]" in
+  (* unknown flags and stray positional arguments are hard errors, so a
+     misspelled flag can no longer be silently ignored *)
+  Arg.parse (Arg.align specs)
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    usage
+
+let quick = !quick
+let micro_only = !micro_only
+let exp_only = !exp_only
+let audit = !audit
 
 (* ----------------------------------------------------------------- audit *)
 

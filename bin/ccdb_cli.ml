@@ -286,8 +286,127 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E10).")
+       ~doc:"Regenerate the paper-reproduction tables (E1-E11).")
     Term.(const run $ quick $ only $ csv_dir)
+
+(* --------------------------------------------------------------- faults *)
+
+let faults_cmd =
+  let open Cmdliner in
+  let plan_conv =
+    let parse s =
+      match Ccdb_sim.Fault_plan.of_string s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, Ccdb_sim.Fault_plan.pp)
+  in
+  let plan =
+    Arg.(required
+         & opt (some plan_conv) None
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:
+               "Fault plan, e.g. \
+                $(b,drop=0.1,crash=1@400+300,crash=2@1200+300,seed=11).  \
+                Grammar: drop=F dup=F delay=PxM crash=S@T+D \
+                link=SRC>DST/... seed=N (see DESIGN.md section 9).")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Ccdb_harness.Driver.Unified
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"System to run (same values as $(b,run) --mode).")
+  in
+  let lambda =
+    Arg.(value & opt float 0.08 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let txns = Arg.(value & opt int 200 & info [ "txns" ] ~doc:"Transactions.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Sites.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let mix =
+    Arg.(value & opt (list protocol_conv) Ccdb_model.Protocol.all
+         & info [ "mix" ]
+             ~doc:"Protocol mix for the unified mode (even weights).")
+  in
+  let rto =
+    Arg.(value & opt float Ccdb_sim.Net.default_retry.Ccdb_sim.Net.rto
+         & info [ "rto" ] ~doc:"Initial retransmission timeout.")
+  in
+  let max_retries =
+    Arg.(value
+         & opt int Ccdb_sim.Net.default_retry.Ccdb_sim.Net.max_retries
+         & info [ "max-retries" ] ~doc:"Retransmissions before giving up.")
+  in
+  let no_audit =
+    Arg.(value & flag
+         & info [ "no-audit" ]
+             ~doc:"Skip the static invariant audit of the traced run.")
+  in
+  let run plan mode lambda txns sites items seed mix rto max_retries no_audit =
+    let spec =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = lambda;
+        protocol_mix = List.map (fun p -> (p, 1.)) mix }
+    in
+    let setup =
+      { Ccdb_harness.Driver.default_setup with
+        sites; items; seed; net = Ccdb_sim.Net.default_config ~sites }
+    in
+    let retry = { Ccdb_sim.Net.default_retry with rto; max_retries } in
+    let r =
+      Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
+        ~faults:plan ~retry mode spec
+    in
+    let s = r.summary in
+    Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
+    Format.printf "fault plan:      %a@." Ccdb_sim.Fault_plan.pp plan;
+    Format.printf "committed:       %d / %d@." s.committed txns;
+    Format.printf "mean S:          %.2f@." s.mean_system_time;
+    Format.printf "throughput:      %.4f txns/unit@." s.throughput;
+    Format.printf "restarts/txn:    %.3f@." s.restarts_per_txn;
+    Format.printf "site aborts:     %d@." s.site_aborts;
+    Format.printf "serializable:    %b@." s.serializable;
+    Format.printf "replicas ok:     %b@." s.replica_consistent;
+    (match s.transport with
+     | None -> ()
+     | Some st ->
+       Format.printf
+         "transport:       %d transmissions, %d dropped, %d duplicated, %d \
+          retransmitted, %d expired@."
+         st.Ccdb_sim.Net.transmissions st.Ccdb_sim.Net.dropped
+         st.Ccdb_sim.Net.duplicated st.Ccdb_sim.Net.retransmitted
+         st.Ccdb_sim.Net.expired;
+       Format.printf
+         "                 %d deliveries suppressed by crashes, %d acks \
+          lost, %d crashes, %d recoveries@."
+         st.Ccdb_sim.Net.suppressed st.Ccdb_sim.Net.acks_lost
+         st.Ccdb_sim.Net.crashes st.Ccdb_sim.Net.recoveries);
+    (match r.audit with
+     | None -> ()
+     | Some report ->
+       Format.printf "audit:           %s@."
+         (Ccdb_analysis.Report.summary report);
+       if not (Ccdb_analysis.Report.is_clean report) then
+         Format.printf "%a@." Ccdb_analysis.Report.pp report);
+    let failed =
+      s.committed <> txns
+      || (match r.audit with
+          | Some report -> Ccdb_analysis.Report.errors report <> []
+          | None -> false)
+    in
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one simulation under an injected fault plan (message loss, \
+          duplication, extra delay, site crashes), print transport-level \
+          counters, and audit the traced run against the paper's \
+          invariants.  Exits 1 if any transaction fails to commit or the \
+          audit finds an error.")
+    Term.(
+      const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
+      $ rto $ max_retries $ no_audit)
 
 (* ---------------------------------------------------------------- sweep *)
 
@@ -402,4 +521,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ccdb_cli" ~doc)
-          [ run_cmd; analyze_cmd; experiments_cmd; sweep_cmd; stl_cmd ]))
+          [ run_cmd; analyze_cmd; experiments_cmd; faults_cmd; sweep_cmd;
+            stl_cmd ]))

@@ -223,7 +223,8 @@ let run (events : Rt.event array) =
         on_ts_updated st ~txn ~item ~site ~revoked
       | Rt.Txn_committed { txn; _ } -> Hashtbl.replace st.committed txn.id ()
       | Rt.Lock_requested _ | Rt.Request_withdrawn _ | Rt.Deadlock_detected _
-      | Rt.Txn_restarted _ | Rt.Pa_backoff _ -> ())
+      | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
+      | Rt.Site_recovered _ -> ())
     events;
   finish st (Array.length events);
   List.rev st.findings

@@ -358,6 +358,7 @@ let run (events : Rt.event array) =
       | Rt.Ts_updated { txn; item; site; ts; _ } ->
         on_ts_updated st ~txn ~ts ~copy:(item, site)
       | Rt.Lock_promoted _ | Rt.Deadlock_detected _ | Rt.Txn_committed _
-      | Rt.Txn_restarted _ | Rt.Pa_backoff _ -> ())
+      | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
+      | Rt.Site_recovered _ -> ())
     events;
   List.rev st.findings

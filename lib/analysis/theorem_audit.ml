@@ -54,7 +54,8 @@ let run ?store (events : Rt.event array) =
                   (match reason with
                    | Rt.To_rejected _ -> "rejection"
                    | Rt.Deadlock_victim -> "deadlock victim"
-                   | Rt.Prevention_kill -> "prevention kill")))
+                   | Rt.Prevention_kill -> "prevention kill"
+                   | Rt.Site_failure -> "site failure")))
       | Rt.Txn_committed { txn; _ } ->
         Hashtbl.replace protocol_of txn.id txn.protocol
       | Rt.Deadlock_detected { cycle; victim; _ } -> (
@@ -106,7 +107,8 @@ let run ?store (events : Rt.event array) =
                           m)))
               cycle)
       | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
-      | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _ -> ())
+      | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _
+      | Rt.Site_crashed _ | Rt.Site_recovered _ -> ())
     events;
   (match store with
    | None -> ()

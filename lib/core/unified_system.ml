@@ -516,6 +516,43 @@ let choose_victim t cycle =
   Rt.emit t.rt (Rt.Deadlock_detected { cycle; victim; at = Rt.now t.rt });
   victim
 
+(* Crash cleanup: restart negotiating 2PL and T/O transactions that depend
+   on the dead site (home site crashed, or a slot hosted there), so no
+   semi-lock or queue entry outlives its issuer's progress.  PA
+   transactions are exempt — Corollary 1 makes PA restart-free, and the
+   analyzer's [thm.pa-restarted] check would rightly flag an abort; their
+   negotiation pushes forward through transport retries instead.  Anything
+   past Negotiating (Computing / Draining) likewise pushes forward. *)
+let crash_restartable st =
+  st.phase = Negotiating
+  && not (Ccdb_model.Protocol.equal st.txn.protocol Ccdb_model.Protocol.Pa)
+
+let on_site_crash t site =
+  let victims =
+    Hashtbl.fold
+      (fun id st acc ->
+        if
+          crash_restartable st
+          && (st.txn.Ccdb_model.Txn.site = site
+              || List.exists (fun ((_, s), _) -> s = site) st.slots)
+        then id :: acc
+        else acc)
+      t.states []
+    |> List.sort compare
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.states id with
+      | Some st -> restart t st ~except:None ~reason:Rt.Site_failure
+      | None -> ())
+    victims
+
+let on_stall t txn_id =
+  match Hashtbl.find_opt t.states txn_id with
+  | Some st when crash_restartable st ->
+    restart t st ~except:None ~reason:Rt.Site_failure
+  | Some _ | None -> ()
+
 (* wait-for targets of [txn] across the queues hosted at [site] *)
 let local_waits_on t ~site ~txn =
   Hashtbl.fold
@@ -598,6 +635,8 @@ let create ?(config = default_config) ?reselect rt =
                  abort_victim t initiator) })
   in
   t.detector <- Some detector;
+  Rt.on_site_crash rt (fun site -> on_site_crash t site);
+  Rt.on_stall rt (fun txn -> on_stall t txn);
   t
 
 let submit t ?payload txn =
@@ -610,6 +649,7 @@ let submit t ?payload txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Rt.track t.rt txn.id;
   (match t.detector with
    | Some (Central d) -> Ccdb_protocols.Deadlock.start d
    | Some (Probing _) | None -> ());

@@ -170,13 +170,13 @@ let build_system ~(setup : setup) mode rt =
       decisions = decisions_of_tally }
 
 let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
-    mode spec =
+    ?faults ?retry mode spec =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
       ~replication:setup.replication
   in
-  let rt = Rt.create ~seed:setup.seed ~net_config:net ~catalog () in
+  let rt = Rt.create ~seed:setup.seed ?faults ?retry ~net_config:net ~catalog () in
   (match observer with Some f -> f rt | None -> ());
   let trace = if audit then Some (Trace.attach rt) else None in
   let system = build_system ~setup mode rt in
@@ -207,10 +207,10 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
     decisions = system.decisions (); audit }
 
 let run_replicated ?(setup = default_setup) ?(n_txns = 200) ?(replications = 3)
-    mode spec metric =
+    ?faults mode spec metric =
   let values =
     Array.init replications (fun i ->
         let setup = { setup with seed = setup.seed + (1000 * i) } in
-        metric (run ~setup ~n_txns mode spec).summary)
+        metric (run ~setup ~n_txns ?faults mode spec).summary)
   in
   Ccdb_util.Stats.Ci.mean_ci95 values

@@ -61,6 +61,8 @@ val run :
   ?n_txns:int ->
   ?observer:(Ccdb_protocols.Runtime.t -> unit) ->
   ?audit:bool ->
+  ?faults:Ccdb_sim.Fault_plan.t ->
+  ?retry:Ccdb_sim.Net.retry ->
   mode ->
   Ccdb_workload.Generator.spec ->
   result
@@ -69,15 +71,22 @@ val run :
     invoked on the fresh runtime before any event fires (to subscribe
     estimators or probes).  With [~audit:true] the full event stream is
     traced and replayed through {!Ccdb_analysis.Analyzer} after the run.
+    [faults] installs a fault plan (message loss, duplication, extra delay,
+    site crashes — see {!Ccdb_sim.Fault_plan}) with retransmission policy
+    [retry]; combine with [~audit:true] to certify that the run stayed
+    serializable under the injected faults.
     @raise Failure if the run livelocks (event budget exhausted). *)
 
 val run_replicated :
   ?setup:setup ->
   ?n_txns:int ->
   ?replications:int ->
+  ?faults:Ccdb_sim.Fault_plan.t ->
   mode ->
   Ccdb_workload.Generator.spec ->
   (Metrics.summary -> float) ->
   float * float
 (** [(mean, ci95_halfwidth)] of a metric over several seeds
-    (default 3 replications, seeds [setup.seed + 1000*i]). *)
+    (default 3 replications, seeds [setup.seed + 1000*i]); each replication
+    reuses the same fault plan, so the same crash schedule hits different
+    workloads. *)

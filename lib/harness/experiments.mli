@@ -7,7 +7,7 @@
     inside the test suite; the benchmark binary runs full size. *)
 
 type outcome = {
-  id : string;                 (** "E1" ... "E10" *)
+  id : string;                 (** "E1" ... "E11", "X1" ... *)
   title : string;
   claim : string;              (** the paper's claim, quoted/paraphrased *)
   table : Ccdb_util.Table.t;
@@ -45,6 +45,10 @@ val e9_correctness_counters : ?quick:bool -> unit -> outcome
 val e10_preservation : ?quick:bool -> unit -> outcome
 (** unified(all-X) vs pure X on identical workloads (section 4.2). *)
 
+val e11_fault_sweep : ?quick:bool -> unit -> outcome
+(** Message-loss sweep under a fixed two-crash schedule: throughput, S and
+    crash-triggered aborts vs loss rate (DESIGN.md section 9). *)
+
 (** {2 Extension experiments}
 
     X-experiments go beyond the paper's explicit claims but stay inside its
@@ -76,7 +80,7 @@ val x7_selection_criteria : ?quick:bool -> unit -> outcome
 (** Section 5.1's argument, tested: min-STL vs min-own-response-time. *)
 
 val all : ?quick:bool -> unit -> outcome list
-(** Every experiment in order (E1-E10 then X1-X7). *)
+(** Every experiment in order (E1-E11 then X1-X7). *)
 
 val render : outcome -> string
 (** Header + claim + table + notes, ready to print. *)

@@ -15,6 +15,8 @@ type summary = {
   messages_by_kind : (string * int) list;
   serializable : bool;
   replica_consistent : bool;
+  site_aborts : int;
+  transport : Ccdb_sim.Net.fault_stats option;
 }
 
 let system_time_stats rt =
@@ -70,7 +72,9 @@ let summarize rt =
     messages_per_txn = per_txn (Ccdb_sim.Net.messages_sent (Rt.net rt));
     messages_by_kind = Ccdb_sim.Net.messages_by_kind (Rt.net rt);
     serializable = Ccdb_serial.Check.conflict_serializable logs;
-    replica_consistent = Ccdb_serial.Check.replica_consistent (Rt.store rt) }
+    replica_consistent = Ccdb_serial.Check.replica_consistent (Rt.store rt);
+    site_aborts = counters.site_aborts;
+    transport = Ccdb_sim.Net.fault_stats (Rt.net rt) }
 
 type window = {
   w_start : float;

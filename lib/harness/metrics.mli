@@ -15,6 +15,10 @@ type summary = {
   messages_by_kind : (string * int) list;
   serializable : bool;
   replica_consistent : bool;
+  site_aborts : int;         (** crash-triggered [Site_failure] restarts *)
+  transport : Ccdb_sim.Net.fault_stats option;
+      (** transport-level counters of a fault-injected run ([None] without
+          a fault plan) *)
 }
 
 val summarize : Ccdb_protocols.Runtime.t -> summary

@@ -71,12 +71,17 @@ let pp_event ppf (e : Rt.event) =
         Printf.sprintf "%s request rejected" (Ccdb_model.Op.to_string op)
       | Rt.Deadlock_victim -> "deadlock victim"
       | Rt.Prevention_kill -> "prevention kill"
+      | Rt.Site_failure -> "site failure"
     in
     Format.fprintf ppf "%8.1f  restart  t%d [%a] (%s)" at txn.id
       Ccdb_model.Protocol.pp txn.protocol why
   | Rt.Pa_backoff { txn; op; at } ->
     Format.fprintf ppf "%8.1f  backoff  t%d %a request" at txn
       Ccdb_model.Op.pp op
+  | Rt.Site_crashed { site; at } ->
+    Format.fprintf ppf "%8.1f  crash    site s%d down" at site
+  | Rt.Site_recovered { site; at } ->
+    Format.fprintf ppf "%8.1f  recover  site s%d up" at site
 
 let render ?limit t =
   let evs = events t in

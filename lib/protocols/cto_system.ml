@@ -254,6 +254,7 @@ let submit t ?payload txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Runtime.track t.rt txn.id;
   t.in_flight.(txn.site) <-
     List.sort Int.compare (ts :: t.in_flight.(txn.site));
   let copies = read_copies t.rt txn in

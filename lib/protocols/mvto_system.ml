@@ -179,29 +179,32 @@ and on_reject t txn_id ~ts rejected_copy =
   match Hashtbl.find_opt t.states txn_id with
   | None -> ()
   | Some st ->
-    if st.ts = ts && st.phase = Prewriting then begin
-      let txn = st.txn in
-      Runtime.emit t.rt
-        (Runtime.Txn_restarted
-           { txn; reason = Runtime.To_rejected Ccdb_model.Op.Write;
-             at = Runtime.now t.rt });
-      st.restarts <- st.restarts + 1;
-      st.ts <- -1;
-      Hashtbl.remove t.pending_reads txn.id;
-      List.iter
-        (fun ((_item, site) as copy) ->
-          if copy <> rejected_copy then
-            Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
-              ~kind:"mv-abort" (fun () ->
-                Mvto_queue.abort (queue t copy) ~txn:txn.id;
-                drain t copy))
-        (read_copies t.rt txn @ write_copies t.rt txn);
-      st.phase <- Reading;
-      st.awaiting <- [];
-      ignore
-        (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
-           ~after:t.config.restart_delay (fun () -> begin_attempt t st))
-    end
+    if st.ts = ts && st.phase = Prewriting then
+      restart t st ~except:(Some rejected_copy)
+        ~reason:(Runtime.To_rejected Ccdb_model.Op.Write)
+
+(* Abort the current attempt and schedule a fresh one.  [except] is the
+   copy whose queue already dropped the entry (the rejecting queue). *)
+and restart t st ~except ~reason =
+  let txn = st.txn in
+  Runtime.emit t.rt
+    (Runtime.Txn_restarted { txn; reason; at = Runtime.now t.rt });
+  st.restarts <- st.restarts + 1;
+  st.ts <- -1;
+  Hashtbl.remove t.pending_reads txn.id;
+  List.iter
+    (fun ((_item, site) as copy) ->
+      if except <> Some copy then
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"mv-abort" (fun () ->
+            Mvto_queue.abort (queue t copy) ~txn:txn.id;
+            drain t copy))
+    (read_copies t.rt txn @ write_copies t.rt txn);
+  st.phase <- Reading;
+  st.awaiting <- [];
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
+       ~after:t.config.restart_delay (fun () -> begin_attempt t st))
 
 and begin_attempt t st =
   let txn = st.txn in
@@ -222,9 +225,45 @@ and begin_attempt t st =
       copies
   end
 
+(* Crash cleanup mirrors {!To_system}: restart reading / prewriting
+   transactions that depend on the dead site, leave invalidated attempts
+   ([ts = -1]) to their pending restart, push committed writes forward. *)
+let on_site_crash t site =
+  let victims =
+    Hashtbl.fold
+      (fun id st acc ->
+        if
+          st.ts <> -1
+          && (st.phase = Reading || st.phase = Prewriting)
+          && (st.txn.Ccdb_model.Txn.site = site
+              || List.exists (fun (_, s) -> s = site) st.awaiting)
+        then id :: acc
+        else acc)
+      t.states []
+    |> List.sort compare
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.states id with
+      | Some st -> restart t st ~except:None ~reason:Runtime.Site_failure
+      | None -> ())
+    victims
+
+let on_stall t txn_id =
+  match Hashtbl.find_opt t.states txn_id with
+  | Some st when st.ts <> -1 && (st.phase = Reading || st.phase = Prewriting)
+    ->
+    restart t st ~except:None ~reason:Runtime.Site_failure
+  | Some _ | None -> ()
+
 let create ?(config = default_config) rt =
-  { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
-    active = 0; committed_reads = []; pending_reads = Hashtbl.create 32 }
+  let t =
+    { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
+      active = 0; committed_reads = []; pending_reads = Hashtbl.create 32 }
+  in
+  Runtime.on_site_crash rt (fun site -> on_site_crash t site);
+  Runtime.on_stall rt (fun txn -> on_stall t txn);
+  t
 
 let submit t txn =
   if Hashtbl.mem t.states txn.Ccdb_model.Txn.id then
@@ -235,6 +274,7 @@ let submit t txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Runtime.track t.rt txn.id;
   begin_attempt t st
 
 let active t = t.active

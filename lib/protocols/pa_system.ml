@@ -218,6 +218,7 @@ let submit t ?payload txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Runtime.track t.rt txn.id;
   let interval = t.config.backoff_interval in
   List.iter
     (fun (item, site, op) ->

@@ -2,6 +2,7 @@ type restart_reason =
   | To_rejected of Ccdb_model.Op.kind
   | Deadlock_victim
   | Prevention_kill
+  | Site_failure
 
 (* Verdict a queue manager returned for a freshly arrived request. *)
 type request_outcome =
@@ -103,6 +104,8 @@ type event =
       at : float;
     }
   | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
+  | Site_crashed of { site : int; at : float }
+  | Site_recovered of { site : int; at : float }
 
 type completion = {
   txn : Ccdb_model.Txn.t;
@@ -118,6 +121,7 @@ type counters = {
   mutable deadlock_aborts : int;
   mutable prevention_aborts : int;
   mutable backoffs : int;
+  mutable site_aborts : int;
 }
 
 type t = {
@@ -130,26 +134,12 @@ type t = {
   counters : counters;
   mutable completions : completion list; (* newest first *)
   mutable listeners : (event -> unit) list;
+  (* --- stall watchdog (active only under an installed fault plan) ------- *)
+  stall_timeout : float;
+  last_activity : (int, float) Hashtbl.t; (* tracked in-flight txns *)
+  mutable stall_handlers : (int -> unit) list; (* newest first *)
+  mutable watchdog_on : bool;
 }
-
-let create ?(seed = 42) ~net_config ~catalog () =
-  if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
-    invalid_arg "Runtime.create: catalog/network site count mismatch";
-  let rng = Ccdb_util.Rng.create ~seed in
-  let engine = Ccdb_sim.Engine.create () in
-  let net_rng = Ccdb_util.Rng.split rng in
-  let net = Ccdb_sim.Net.create engine net_rng net_config in
-  { engine;
-    net;
-    rng;
-    catalog;
-    store = Ccdb_storage.Store.create catalog;
-    ts_source = Ccdb_model.Timestamp.Source.create ();
-    counters =
-      { committed = 0; restarts = 0; rejections = 0; deadlock_aborts = 0;
-        prevention_aborts = 0; backoffs = 0 };
-    completions = [];
-    listeners = [] }
 
 let engine t = t.engine
 let net t = t.net
@@ -159,27 +149,127 @@ let store t = t.store
 let ts_source t = t.ts_source
 let now t = Ccdb_sim.Engine.now t.engine
 
+let faults_enabled t = Option.is_some (Ccdb_sim.Net.fault_plan t.net)
+
 let subscribe t f = t.listeners <- f :: t.listeners
+
+(* Refresh a tracked transaction's activity stamp.  Only transactions the
+   owning system registered with [track] are refreshed — the table must
+   never resurrect an entry after Txn_committed removed it. *)
+let touch t txn =
+  if Hashtbl.mem t.last_activity txn then
+    Hashtbl.replace t.last_activity txn (now t)
 
 let emit t event =
   (match event with
    | Txn_committed { txn; submitted_at; executed_at; restarts } ->
      t.counters.committed <- t.counters.committed + 1;
+     Hashtbl.remove t.last_activity txn.Ccdb_model.Txn.id;
      t.completions <-
        { txn; submitted_at; executed_at; restarts } :: t.completions
-   | Txn_restarted { reason; _ } ->
+   | Txn_restarted { txn; reason; _ } ->
      t.counters.restarts <- t.counters.restarts + 1;
+     touch t txn.Ccdb_model.Txn.id;
      (match reason with
       | To_rejected _ -> t.counters.rejections <- t.counters.rejections + 1
       | Deadlock_victim ->
         t.counters.deadlock_aborts <- t.counters.deadlock_aborts + 1
       | Prevention_kill ->
-        t.counters.prevention_aborts <- t.counters.prevention_aborts + 1)
-   | Pa_backoff _ -> t.counters.backoffs <- t.counters.backoffs + 1
-   | Lock_requested _ | Lock_granted _ | Lock_promoted _ | Lock_transformed _
-   | Lock_released _ | Request_withdrawn _ | Ts_updated _
-   | Deadlock_detected _ -> ());
+        t.counters.prevention_aborts <- t.counters.prevention_aborts + 1
+      | Site_failure ->
+        t.counters.site_aborts <- t.counters.site_aborts + 1)
+   | Pa_backoff { txn; _ } ->
+     t.counters.backoffs <- t.counters.backoffs + 1;
+     touch t txn
+   | Lock_requested { txn; _ } | Lock_granted { txn; _ }
+   | Lock_promoted { txn; _ } | Lock_transformed { txn; _ }
+   | Lock_released { txn; _ } | Request_withdrawn { txn; _ }
+   | Ts_updated { txn; _ } -> touch t txn
+   | Deadlock_detected _ | Site_crashed _ | Site_recovered _ -> ());
   List.iter (fun f -> f event) t.listeners
+
+(* The watchdog sweeps tracked transactions every [stall_timeout / 2] and
+   hands every transaction idle for at least [stall_timeout] to the stall
+   handlers (systems use this to re-drive transactions whose messages died
+   with the retry budget).  The loop stops itself as soon as the tracking
+   table empties, so it never keeps [quiesce] alive. *)
+let rec watchdog_sweep t () =
+  if Hashtbl.length t.last_activity = 0 then t.watchdog_on <- false
+  else begin
+    let at = now t in
+    let stalled =
+      Hashtbl.fold
+        (fun txn last acc ->
+          if at -. last >= t.stall_timeout then txn :: acc else acc)
+        t.last_activity []
+      |> List.sort compare
+    in
+    List.iter
+      (fun txn ->
+        if Hashtbl.mem t.last_activity txn then begin
+          Hashtbl.replace t.last_activity txn at;
+          List.iter (fun f -> f txn) (List.rev t.stall_handlers)
+        end)
+      stalled;
+    ignore
+      (Ccdb_sim.Engine.schedule t.engine ~after:(t.stall_timeout /. 2.)
+         (watchdog_sweep t))
+  end
+
+let track t txn =
+  if faults_enabled t then begin
+    Hashtbl.replace t.last_activity txn (now t);
+    if not t.watchdog_on then begin
+      t.watchdog_on <- true;
+      ignore
+        (Ccdb_sim.Engine.schedule t.engine ~after:(t.stall_timeout /. 2.)
+           (watchdog_sweep t))
+    end
+  end
+
+let on_stall t f = t.stall_handlers <- f :: t.stall_handlers
+
+let on_site_crash t f = Ccdb_sim.Net.on_crash t.net f
+let on_site_recover t f = Ccdb_sim.Net.on_recover t.net f
+
+let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.) ~net_config
+    ~catalog () =
+  if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
+    invalid_arg "Runtime.create: catalog/network site count mismatch";
+  if stall_timeout <= 0. then
+    invalid_arg "Runtime.create: stall_timeout must be positive";
+  let rng = Ccdb_util.Rng.create ~seed in
+  let engine = Ccdb_sim.Engine.create () in
+  let net_rng = Ccdb_util.Rng.split rng in
+  let net = Ccdb_sim.Net.create engine net_rng net_config in
+  let t =
+    { engine;
+      net;
+      rng;
+      catalog;
+      store = Ccdb_storage.Store.create catalog;
+      ts_source = Ccdb_model.Timestamp.Source.create ();
+      counters =
+        { committed = 0; restarts = 0; rejections = 0; deadlock_aborts = 0;
+          prevention_aborts = 0; backoffs = 0; site_aborts = 0 };
+      completions = [];
+      listeners = [];
+      stall_timeout;
+      last_activity = Hashtbl.create 64;
+      stall_handlers = [];
+      watchdog_on = false }
+  in
+  (match faults with
+   | None -> ()
+   | Some plan ->
+     Ccdb_sim.Net.install_faults t.net ?retry plan;
+     (* registered first, so the trace records the crash before any
+        crash-triggered abort the systems perform *)
+     Ccdb_sim.Net.on_crash t.net (fun site ->
+         emit t (Site_crashed { site; at = now t }));
+     Ccdb_sim.Net.on_recover t.net (fun site ->
+         emit t (Site_recovered { site; at = now t })));
+  t
 
 let counters t = t.counters
 

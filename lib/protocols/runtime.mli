@@ -13,6 +13,9 @@ type restart_reason =
   | Prevention_kill
       (** killed by a deadlock-prevention policy (wait-die's self-abort or
           wound-wait's wound) *)
+  | Site_failure
+      (** aborted because a site it depends on crashed (fault injection);
+          only issued in pre-commit phases, so no write is ever lost *)
 
 (** Verdict a queue manager returned for a freshly arrived request. *)
 type request_outcome =
@@ -117,6 +120,10 @@ type event =
     }
   | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
       (** a PA request received a back-off timestamp *)
+  | Site_crashed of { site : int; at : float }
+      (** fault injection: the site entered a fail-pause crash window *)
+  | Site_recovered of { site : int; at : float }
+      (** fault injection: the site's crash window ended *)
 
 type completion = {
   txn : Ccdb_model.Txn.t;
@@ -134,19 +141,31 @@ type counters = {
   mutable prevention_aborts : int;
       (** wound-wait / wait-die kills (see {!Two_pl_system.prevention}) *)
   mutable backoffs : int;    (** PA per-request back-off events *)
+  mutable site_aborts : int; (** [Site_failure] restarts (crash cleanup) *)
 }
 
 type t
 
 val create :
   ?seed:int ->
+  ?faults:Ccdb_sim.Fault_plan.t ->
+  ?retry:Ccdb_sim.Net.retry ->
+  ?stall_timeout:float ->
   net_config:Ccdb_sim.Net.config ->
   catalog:Ccdb_storage.Catalog.t ->
   unit ->
   t
-(** Builds engine + network + store.  [seed] defaults to 42.
+(** Builds engine + network + store.  [seed] defaults to 42.  When [faults]
+    is given it is installed on the network ({!Ccdb_sim.Net.install_faults},
+    with [retry] if supplied), {!event.Site_crashed} / {!event.Site_recovered}
+    events are emitted at each crash boundary, and the stall watchdog is
+    armed: transactions registered with {!track} that stay idle for
+    [stall_timeout] (default 1500.) simulated time units are handed to the
+    {!on_stall} handlers.  Without [faults] the watchdog is inert and the
+    network is the fault-free one.
     @raise Invalid_argument if the catalog's site count differs from the
-    network's. *)
+    network's, if [stall_timeout <= 0.], or if the plan is rejected by
+    {!Ccdb_sim.Net.install_faults}. *)
 
 val engine : t -> Ccdb_sim.Engine.t
 val net : t -> Ccdb_sim.Net.t
@@ -175,3 +194,30 @@ val run : ?until:float -> t -> unit
 val quiesce : ?max_events:int -> t -> unit
 (** Runs until no events remain ([max_events] guards against livelock;
     default 10_000_000).  @raise Failure if the budget is exhausted. *)
+
+(** {2 Fault handling}
+
+    These are no-ops unless the runtime was created with [~faults]. *)
+
+val faults_enabled : t -> bool
+(** Whether a fault plan is installed on this runtime's network. *)
+
+val track : t -> int -> unit
+(** [track t txn] registers an in-flight transaction with the stall
+    watchdog (systems call this at submission).  Every emitted event that
+    names the transaction refreshes its activity stamp; {!event.Txn_committed}
+    unregisters it.  No-op without faults. *)
+
+val on_stall : t -> (int -> unit) -> unit
+(** Registers a handler called with a tracked transaction id after it has
+    produced no events for [stall_timeout]; the watchdog refreshes the
+    stamp before calling, so a handler that cannot make progress is re-run
+    only after another full timeout. *)
+
+val on_site_crash : t -> (int -> unit) -> unit
+(** Registers a handler called with the site id at each crash instant —
+    systems use this to abort transactions that depend on the dead site.
+    Handlers run after the {!event.Site_crashed} event is emitted. *)
+
+val on_site_recover : t -> (int -> unit) -> unit
+(** Registers a handler called with the site id at each recovery instant. *)

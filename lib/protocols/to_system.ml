@@ -230,13 +230,15 @@ and on_reject t txn_id ~ts rejected_copy op =
   | None -> ()
   | Some st ->
     if st.ts = ts && (st.phase = Reading || st.phase = Prewriting) then
-      restart t st rejected_copy op
+      restart t st ~except:(Some rejected_copy) ~reason:(Runtime.To_rejected op)
 
-and restart t st rejected_copy rejected_op =
+(* Abort the current attempt and schedule a fresh one.  [except] is the
+   copy whose queue already dropped the entry (the rejecting queue) and
+   must not receive a withdrawal. *)
+and restart t st ~except ~reason =
   let txn = st.txn in
   Runtime.emit t.rt
-    (Runtime.Txn_restarted
-       { txn; reason = Runtime.To_rejected rejected_op; at = Runtime.now t.rt });
+    (Runtime.Txn_restarted { txn; reason; at = Runtime.now t.rt });
   st.restarts <- st.restarts + 1;
   (* invalidate until the next attempt begins so a second in-flight
      rejection of this attempt is ignored *)
@@ -249,7 +251,7 @@ and restart t st rejected_copy rejected_op =
   in
   List.iter
     (fun ((item, site) as copy) ->
-      if copy <> rejected_copy then
+      if except <> Some copy then
         Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
           ~kind:"to-abort" (fun () ->
             To_queue.abort (queue t copy) ~txn:txn.id;
@@ -310,9 +312,52 @@ and begin_attempt t st =
       copies
   end
 
+(* Crash cleanup: restart transactions still reading or prewriting whose
+   home site crashed or that await a reply from the dead site.  Attempts
+   already invalidated ([ts = -1]) are waiting out their restart delay and
+   are left alone.  Committed-phase writes push forward: the transport
+   retries them across the outage, so Basic T/O never loses an accepted
+   write. *)
+let crash_restart t ~pred ~reason =
+  let victims =
+    Hashtbl.fold
+      (fun id st acc ->
+        if
+          st.ts <> -1
+          && (st.phase = Reading || st.phase = Prewriting)
+          && pred st
+        then id :: acc
+        else acc)
+      t.states []
+    |> List.sort compare
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.states id with
+      | Some st -> restart t st ~except:None ~reason
+      | None -> ())
+    victims
+
+let on_site_crash t site =
+  crash_restart t ~reason:Runtime.Site_failure ~pred:(fun st ->
+      st.txn.Ccdb_model.Txn.site = site
+      || List.exists (fun (_, s) -> s = site) st.awaiting)
+
+let on_stall t txn_id =
+  match Hashtbl.find_opt t.states txn_id with
+  | Some st when st.ts <> -1 && (st.phase = Reading || st.phase = Prewriting)
+    ->
+    restart t st ~except:None ~reason:Runtime.Site_failure
+  | Some _ | None -> ()
+
 let create ?(config = default_config) rt =
-  { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
-    active = 0 }
+  let t =
+    { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
+      active = 0 }
+  in
+  Runtime.on_site_crash rt (fun site -> on_site_crash t site);
+  Runtime.on_stall rt (fun txn -> on_stall t txn);
+  t
 
 let submit t ?payload txn =
   if Hashtbl.mem t.states txn.Ccdb_model.Txn.id then
@@ -324,6 +369,7 @@ let submit t ?payload txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Runtime.track t.rt txn.id;
   begin_attempt t st
 
 let active t = t.active

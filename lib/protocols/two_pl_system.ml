@@ -307,6 +307,38 @@ and abort_victim ?(reason = Runtime.Deadlock_victim) t victim =
            ~after:t.config.restart_delay (fun () -> send_requests t st))
     end
 
+(* Crash cleanup: abort every transaction still in its read (Waiting) phase
+   that depends on the dead site — its home site crashed, or it awaits or
+   holds a lock on a copy there.  Only Waiting transactions are touched:
+   anything past lock-point pushes forward through transport retries, so no
+   implemented write is ever lost.  [abort_victim] withdraws all its
+   requests, so no lock leaks on the dead site (the withdrawal reaches it
+   after recovery — fail-pause keeps the table alive meanwhile). *)
+let depends_on_site st site =
+  st.txn.Ccdb_model.Txn.site = site
+  || List.exists (fun (_, s) -> s = site) st.awaiting
+  || List.exists (fun ((_, s), _, _) -> s = site) st.granted
+
+let on_site_crash t site =
+  let victims =
+    Hashtbl.fold
+      (fun id st acc ->
+        if st.phase = Waiting && depends_on_site st site then id :: acc
+        else acc)
+      t.states []
+    |> List.sort compare
+  in
+  List.iter (abort_victim ~reason:Runtime.Site_failure t) victims
+
+(* Stall fallback: a Waiting transaction that produced no event for a full
+   stall timeout lost traffic the transport gave up on (retry budget
+   exhausted).  Restarting re-issues every request. *)
+let on_stall t txn_id =
+  match Hashtbl.find_opt t.states txn_id with
+  | Some st when st.phase = Waiting ->
+    abort_victim ~reason:Runtime.Site_failure t txn_id
+  | Some _ | None -> ()
+
 (* wait-for targets of [txn] across the lock tables hosted at [site] *)
 let local_waits_on t ~site ~txn =
   Hashtbl.fold
@@ -382,6 +414,8 @@ let create ?(config = default_config) rt =
                  abort_victim t initiator) })
   in
   t.detector <- Some detector;
+  Runtime.on_site_crash rt (fun site -> on_site_crash t site);
+  Runtime.on_stall rt (fun txn -> on_stall t txn);
   t
 
 let submit t ?payload txn =
@@ -393,6 +427,7 @@ let submit t ?payload txn =
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
+  Runtime.track t.rt txn.id;
   (match t.detector with
    | Some (Central d) when t.config.prevention = No_prevention ->
      Deadlock.start d

@@ -5,13 +5,16 @@
     run fully deterministic given the same sequence of [schedule] calls. *)
 
 type t
+(** A mutable event queue with a clock; one per simulation. *)
 
 type time = float
+(** Simulation time in abstract milliseconds. *)
 
 type handle
 (** Handle for cancelling a scheduled event. *)
 
 val create : unit -> t
+(** A fresh engine: empty queue, clock at 0. *)
 
 val now : t -> time
 (** Current simulation time (0. before any event has fired). *)

@@ -1,0 +1,265 @@
+type link = {
+  drop : float;
+  duplicate : float;
+  delay_prob : float;
+  delay_mean : float;
+}
+
+type crash = { site : int; at : float; recover_at : float }
+
+type t = {
+  seed : int;
+  default_link : link;
+  links : ((int * int) * link) list; (* sorted by (src, dst) *)
+  crashes : crash list;              (* sorted by crash time *)
+}
+
+let reliable_link =
+  { drop = 0.; duplicate = 0.; delay_prob = 0.; delay_mean = 0. }
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault_plan: %s=%g outside [0, 1]" what p)
+
+let check_link l =
+  check_prob "drop" l.drop;
+  check_prob "dup" l.duplicate;
+  check_prob "delay probability" l.delay_prob;
+  if l.delay_mean < 0. then
+    invalid_arg
+      (Printf.sprintf "Fault_plan: negative delay mean %g" l.delay_mean)
+
+let check_crashes crashes =
+  List.iter
+    (fun c ->
+      if c.site < 0 then invalid_arg "Fault_plan: negative crash site";
+      if c.at < 0. then invalid_arg "Fault_plan: crash before time 0";
+      if c.recover_at <= c.at then
+        invalid_arg "Fault_plan: empty or inverted crash window")
+    crashes;
+  (* per-site windows must not overlap: a site is either up or down *)
+  let by_site = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_site c.site) in
+      Hashtbl.replace by_site c.site (c :: cur))
+    crashes;
+  Hashtbl.iter
+    (fun site windows ->
+      let sorted = List.sort (fun a b -> compare a.at b.at) windows in
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if b.at < a.recover_at then
+            invalid_arg
+              (Printf.sprintf
+                 "Fault_plan: overlapping crash windows for site %d" site);
+          go rest
+        | [ _ ] | [] -> ()
+      in
+      go sorted)
+    by_site
+
+let make ?(seed = 0) ?(default_link = reliable_link) ?(links = [])
+    ?(crashes = []) () =
+  check_link default_link;
+  List.iter (fun (_, l) -> check_link l) links;
+  let links = List.sort (fun (a, _) (b, _) -> compare a b) links in
+  let rec dup_key = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then
+        invalid_arg
+          (Printf.sprintf "Fault_plan: duplicate link override %d>%d" (fst a)
+             (snd a));
+      dup_key rest
+    | [ _ ] | [] -> ()
+  in
+  dup_key links;
+  List.iter
+    (fun ((src, dst), _) ->
+      if src < 0 || dst < 0 then invalid_arg "Fault_plan: negative link site")
+    links;
+  check_crashes crashes;
+  let crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) crashes in
+  { seed; default_link; links; crashes }
+
+let none = make ()
+
+let seed t = t.seed
+let default_link t = t.default_link
+let links t = t.links
+let crashes t = t.crashes
+
+let link_for t ~src ~dst =
+  match List.assoc_opt (src, dst) t.links with
+  | Some l -> l
+  | None -> t.default_link
+
+let is_crashed t ~site ~at =
+  List.exists (fun c -> c.site = site && at >= c.at && at < c.recover_at)
+    t.crashes
+
+let max_site t =
+  let m =
+    List.fold_left
+      (fun acc ((src, dst), _) -> max acc (max src dst))
+      (-1) t.links
+  in
+  List.fold_left (fun acc c -> max acc c.site) m t.crashes
+
+(* --- textual grammar ---------------------------------------------------- *)
+
+let float_str f =
+  (* shortest round-trippable decimal *)
+  let s = Printf.sprintf "%.12g" f in
+  s
+
+let link_fields l =
+  let fields = ref [] in
+  if l.delay_prob > 0. then
+    fields :=
+      Printf.sprintf "delay=%sx%s" (float_str l.delay_prob)
+        (float_str l.delay_mean)
+      :: !fields;
+  if l.duplicate > 0. then
+    fields := Printf.sprintf "dup=%s" (float_str l.duplicate) :: !fields;
+  if l.drop > 0. then
+    fields := Printf.sprintf "drop=%s" (float_str l.drop) :: !fields;
+  !fields
+
+let to_string t =
+  let tokens =
+    link_fields t.default_link
+    @ List.map
+        (fun ((src, dst), l) ->
+          String.concat "/"
+            (Printf.sprintf "link=%d>%d" src dst :: link_fields l))
+        t.links
+    @ List.map
+        (fun c ->
+          Printf.sprintf "crash=%d@%s+%s" c.site (float_str c.at)
+            (float_str (c.recover_at -. c.at)))
+        t.crashes
+    @ (if t.seed <> 0 then [ Printf.sprintf "seed=%d" t.seed ] else [])
+  in
+  match tokens with [] -> "none" | _ -> String.concat "," tokens
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad %s value %S" what s)
+
+let parse_delay s =
+  match String.split_on_char 'x' s with
+  | [ p; m ] -> (
+    match parse_float "delay probability" p with
+    | Error _ as e -> e
+    | Ok p -> (
+      match parse_float "delay mean" m with
+      | Error _ as e -> e
+      | Ok m -> Ok (p, m)))
+  | _ -> Error (Printf.sprintf "bad delay spec %S (expected PROBxMEAN)" s)
+
+(* one [field=value] applied to a link under construction *)
+let apply_link_field l field =
+  match String.index_opt field '=' with
+  | None -> Error (Printf.sprintf "bad link field %S" field)
+  | Some i -> (
+    let key = String.sub field 0 i in
+    let v = String.sub field (i + 1) (String.length field - i - 1) in
+    match key with
+    | "drop" -> Result.map (fun f -> { l with drop = f }) (parse_float key v)
+    | "dup" ->
+      Result.map (fun f -> { l with duplicate = f }) (parse_float key v)
+    | "delay" ->
+      Result.map
+        (fun (p, m) -> { l with delay_prob = p; delay_mean = m })
+        (parse_delay v)
+    | _ -> Error (Printf.sprintf "unknown link field %S" key))
+
+let parse_crash s =
+  (* S@T+D *)
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "bad crash spec %S (expected SITE@AT+DUR)" s)
+  | Some i -> (
+    let site = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest '+' with
+    | None ->
+      Error (Printf.sprintf "bad crash spec %S (expected SITE@AT+DUR)" s)
+    | Some j -> (
+      let at = String.sub rest 0 j in
+      let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match int_of_string_opt site with
+      | None -> Error (Printf.sprintf "bad crash site %S" site)
+      | Some site -> (
+        match parse_float "crash time" at with
+        | Error _ as e -> e
+        | Ok at -> (
+          match parse_float "crash duration" dur with
+          | Error _ as e -> e
+          | Ok dur -> Ok { site; at; recover_at = at +. dur }))))
+
+let parse_link_token s =
+  (* SRC>DST[/field=value]... *)
+  match String.split_on_char '/' s with
+  | [] -> Error "empty link token"
+  | endpoints :: fields -> (
+    match String.index_opt endpoints '>' with
+    | None ->
+      Error (Printf.sprintf "bad link endpoints %S (expected SRC>DST)" endpoints)
+    | Some i -> (
+      let src = String.sub endpoints 0 i in
+      let dst =
+        String.sub endpoints (i + 1) (String.length endpoints - i - 1)
+      in
+      match (int_of_string_opt src, int_of_string_opt dst) with
+      | Some src, Some dst ->
+        let rec go l = function
+          | [] -> Ok ((src, dst), l)
+          | f :: rest -> (
+            match apply_link_field l f with
+            | Error _ as e -> e
+            | Ok l -> go l rest)
+        in
+        go reliable_link fields
+      | _ -> Error (Printf.sprintf "bad link endpoints %S" endpoints)))
+
+let of_string s =
+  let tokens =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun tok -> tok <> "")
+  in
+  let rec go acc_link links crashes seed = function
+    | [] -> (
+      try Ok (make ~seed ~default_link:acc_link ~links ~crashes ())
+      with Invalid_argument msg -> Error msg)
+    | "none" :: rest -> go acc_link links crashes seed rest
+    | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | None -> Error (Printf.sprintf "bad token %S (expected key=value)" tok)
+      | Some i -> (
+        let key = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match key with
+        | "drop" | "dup" | "delay" -> (
+          match apply_link_field acc_link tok with
+          | Error _ as e -> e
+          | Ok l -> go l links crashes seed rest)
+        | "crash" -> (
+          match parse_crash v with
+          | Error _ as e -> e
+          | Ok c -> go acc_link links (c :: crashes) seed rest)
+        | "link" -> (
+          match parse_link_token v with
+          | Error _ as e -> e
+          | Ok l -> go acc_link (l :: links) crashes seed rest)
+        | "seed" -> (
+          match int_of_string_opt v with
+          | Some seed -> go acc_link links crashes seed rest
+          | None -> Error (Printf.sprintf "bad seed %S" v))
+        | _ -> Error (Printf.sprintf "unknown fault-plan key %S" key)))
+  in
+  go reliable_link [] [] 0 tokens

@@ -1,0 +1,103 @@
+(** Seeded fault plans for the simulated network.
+
+    A fault plan is a pure description of everything that will go wrong
+    during a run: per-link message loss, duplication and extra-delay
+    distributions, plus a schedule of site crashes with their recovery
+    times.  The plan carries its own RNG seed so a faulted run is exactly
+    as deterministic as a fault-free one — same plan, same seed, same
+    failure pattern.
+
+    Plans are interpreted by {!Net.install_faults}: the network layers a
+    retransmitting, deduplicating, order-restoring transport over the lossy
+    links it describes (see DESIGN.md §9 for the full fault model), and
+    crash windows make a site unreachable for their duration (fail-pause:
+    the site's local state survives, its network is dead).
+
+    The textual grammar accepted by {!of_string} (and printed by
+    {!to_string}) is a comma-separated token list:
+
+    {v
+    drop=0.1,dup=0.02,delay=0.05x20,crash=1@400+300,seed=7
+    link=0>2/drop=0.5,crash=3@900+250
+    v}
+
+    - [drop=F] — default per-transmission loss probability
+    - [dup=F] — default duplication probability
+    - [delay=PxM] — with probability [P], add [exponential(M)] extra delay
+    - [crash=S@T+D] — site [S] crashes at time [T], recovers at [T + D]
+    - [link=SRC>DST/…] — override [drop]/[dup]/[delay] for one directed link
+    - [seed=N] — seed of the plan's private fault RNG *)
+
+type link = {
+  drop : float;        (** probability a transmission is lost, in [0, 1] *)
+  duplicate : float;   (** probability a second copy is delivered, in [0, 1] *)
+  delay_prob : float;  (** probability of extra delay, in [0, 1] *)
+  delay_mean : float;  (** mean of the exponential extra delay, [>= 0] *)
+}
+(** Fault distribution of one directed link (or the default for all links).
+    Each physical transmission draws independently from these. *)
+
+type crash = {
+  site : int;          (** the site that fails *)
+  at : float;          (** crash instant, [>= 0] *)
+  recover_at : float;  (** recovery instant, [> at] *)
+}
+(** One fail-pause outage: the site is unreachable in [\[at, recover_at)]
+    but keeps its local state (queues, lock tables) across the outage. *)
+
+type t
+(** An immutable fault plan. *)
+
+val reliable_link : link
+(** A link with no faults: all probabilities 0. *)
+
+val none : t
+(** The empty plan: reliable links, no crashes, seed 0.  Installing it
+    still routes traffic through the reliable transport (sequence numbers,
+    acks, retransmission timers) — useful for testing the transport itself. *)
+
+val make :
+  ?seed:int ->
+  ?default_link:link ->
+  ?links:((int * int) * link) list ->
+  ?crashes:crash list ->
+  unit ->
+  t
+(** [make ()] builds a validated plan.  [links] lists per-[(src, dst)]
+    overrides of [default_link] (default: no overrides).  [seed] defaults
+    to 0, [default_link] to {!reliable_link}, [crashes] to [[]].
+    @raise Invalid_argument if a probability is outside [0, 1], a delay
+    mean is negative, a crash window is empty or starts before time 0,
+    two crash windows of the same site overlap, or a link appears twice. *)
+
+val seed : t -> int
+(** The plan's fault-RNG seed. *)
+
+val default_link : t -> link
+(** The fault distribution used for links without an override. *)
+
+val links : t -> ((int * int) * link) list
+(** The per-link overrides, sorted by [(src, dst)]. *)
+
+val crashes : t -> crash list
+(** The crash schedule, sorted by crash time. *)
+
+val link_for : t -> src:int -> dst:int -> link
+(** The fault distribution of the directed link [src -> dst]. *)
+
+val is_crashed : t -> site:int -> at:float -> bool
+(** Whether [site] is inside one of its crash windows at time [at]. *)
+
+val max_site : t -> int
+(** The largest site index the plan mentions ([-1] if it mentions none);
+    {!Net.install_faults} rejects plans that name out-of-range sites. *)
+
+val of_string : string -> (t, string) result
+(** Parses the grammar documented above.  Whitespace around tokens is
+    ignored; unknown or malformed tokens yield [Error] with a message. *)
+
+val to_string : t -> string
+(** Canonical textual form; [of_string (to_string p)] round-trips. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer ({!to_string} on one line). *)

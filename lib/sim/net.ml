@@ -15,6 +15,72 @@ type slowdown = {
   factor : float;
 }
 
+type retry = {
+  rto : float;
+  rto_backoff : float;
+  rto_cap : float;
+  max_retries : int;
+}
+
+let default_retry = { rto = 60.; rto_backoff = 2.; rto_cap = 480.; max_retries = 40 }
+
+type fault_stats = {
+  transmissions : int;
+  dropped : int;
+  duplicated : int;
+  retransmitted : int;
+  expired : int;
+  suppressed : int;
+  acks_lost : int;
+  crashes : int;
+  recoveries : int;
+}
+
+(* internal mutable counterpart of [fault_stats] *)
+type fstats = {
+  mutable s_transmissions : int;
+  mutable s_dropped : int;
+  mutable s_duplicated : int;
+  mutable s_retransmitted : int;
+  mutable s_expired : int;
+  mutable s_suppressed : int;
+  mutable s_acks_lost : int;
+  mutable s_crashes : int;
+  mutable s_recoveries : int;
+}
+
+(* one logical message of the reliable transport; every physical copy
+   (first transmission, retransmissions, duplicates) shares this record *)
+type fmessage = {
+  m_src : int;
+  m_dst : int;
+  m_seq : int;
+  m_deliver : unit -> unit;
+  mutable m_attempts : int;       (* physical transmissions so far *)
+  mutable m_acked : bool;
+  mutable m_received : bool;      (* a copy reached the destination *)
+  mutable m_timer : Engine.handle option; (* pending retransmission timer *)
+}
+
+(* per-(src, dst) transport channel *)
+type fchannel = {
+  mutable next_seq : int;      (* sender side: next sequence number *)
+  mutable deliver_next : int;  (* receiver side: next seq to release in order *)
+  ready : (int, fmessage) Hashtbl.t; (* received, waiting for in-order release *)
+  dead : (int, unit) Hashtbl.t;      (* sender exhausted its retry budget *)
+}
+
+type faults = {
+  plan : Fault_plan.t;
+  retry : retry;
+  frng : Ccdb_util.Rng.t;
+  channels : (int * int, fchannel) Hashtbl.t;
+  crashed : bool array;
+  stats : fstats;
+  mutable crash_listeners : (int -> unit) list;   (* registration order *)
+  mutable recover_listeners : (int -> unit) list;
+}
+
 type t = {
   engine : Engine.t;
   rng : Ccdb_util.Rng.t;
@@ -25,12 +91,13 @@ type t = {
   (* Earliest admissible delivery time per ordered (src, dst) pair, to keep
      per-channel delivery FIFO even with jitter. *)
   channel_front : (int * int, float) Hashtbl.t;
+  mutable faults : faults option;
 }
 
 let create engine rng config =
   if config.sites <= 0 then invalid_arg "Net.create: need at least one site";
   { engine; rng; config; counts = Hashtbl.create 16; total = 0;
-    slowdowns = []; channel_front = Hashtbl.create 64 }
+    slowdowns = []; channel_front = Hashtbl.create 64; faults = None }
 
 let sites t = t.config.sites
 
@@ -40,13 +107,9 @@ let count t kind =
   | Some r -> incr r
   | None -> Hashtbl.add t.counts kind (ref 1)
 
-let send t ~src ~dst ~kind deliver =
-  let n = t.config.sites in
-  if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Net.send: site out of range";
-  count t kind;
+let slowdown_factor t =
   let now = Engine.now t.engine in
-  let slowdown_factor =
+  fun ~src ~dst ->
     List.fold_left
       (fun acc s ->
         let applies_window = now >= s.from_time && now < s.until_time in
@@ -55,21 +118,263 @@ let send t ~src ~dst ~kind deliver =
         in
         if applies_window && applies_site then acc *. s.factor else acc)
       1. t.slowdowns
+
+(* --- reliable transport over faulty links ------------------------------- *)
+
+(* Fault semantics (DESIGN.md §9): each Net.send becomes one logical message
+   with a per-channel sequence number.  Physical transmissions may be
+   dropped, duplicated or delayed per the plan's link distributions, and are
+   suppressed entirely while either endpoint is crashed.  The receiver acks
+   every copy (the ack rides the lossy reverse link), deduplicates, and
+   releases messages to the application strictly in sequence order, so
+   protocol code sees the same FIFO-channel abstraction as the fault-free
+   network.  The sender retransmits on a capped exponential-backoff timer
+   until acked; after [max_retries] the sequence number is declared dead so
+   the channel can advance past it (the only case where a message is truly
+   lost — systems recover via crash hooks and the runtime's stall watchdog). *)
+
+let fchannel fr key =
+  match Hashtbl.find_opt fr.channels key with
+  | Some ch -> ch
+  | None ->
+    let ch =
+      { next_seq = 0; deliver_next = 0; ready = Hashtbl.create 8;
+        dead = Hashtbl.create 4 }
+    in
+    Hashtbl.add fr.channels key ch;
+    ch
+
+(* transit delay of one physical copy, jitter and extra delay drawn from the
+   plan's private RNG *)
+let faulty_delay t fr (link : Fault_plan.link) ~src ~dst =
+  let base =
+    if src = dst then t.config.local_delay
+    else t.config.base_delay +. Ccdb_util.Rng.float fr.frng t.config.jitter
   in
-  let delay =
-    (if src = dst then t.config.local_delay
-     else t.config.base_delay +. Ccdb_util.Rng.float t.rng t.config.jitter)
-    *. slowdown_factor
+  let extra =
+    if link.Fault_plan.delay_prob > 0.
+       && Ccdb_util.Rng.float fr.frng 1.0 < link.Fault_plan.delay_prob
+    then Ccdb_util.Rng.exponential fr.frng ~mean:link.Fault_plan.delay_mean
+    else 0.
   in
-  let naive = Engine.now t.engine +. delay in
-  let front =
-    match Hashtbl.find_opt t.channel_front (src, dst) with
-    | Some f -> f
-    | None -> 0.
+  (base *. slowdown_factor t ~src ~dst) +. extra
+
+let release_ready ch =
+  let rec go () =
+    match Hashtbl.find_opt ch.ready ch.deliver_next with
+    | Some m ->
+      Hashtbl.remove ch.ready ch.deliver_next;
+      Hashtbl.remove ch.dead ch.deliver_next;
+      ch.deliver_next <- ch.deliver_next + 1;
+      m.m_deliver ();
+      go ()
+    | None ->
+      if Hashtbl.mem ch.dead ch.deliver_next then begin
+        Hashtbl.remove ch.dead ch.deliver_next;
+        ch.deliver_next <- ch.deliver_next + 1;
+        go ()
+      end
   in
-  let at = if naive > front then naive else front +. 1e-9 in
-  Hashtbl.replace t.channel_front (src, dst) at;
-  ignore (Engine.schedule_at t.engine ~at deliver)
+  go ()
+
+let rec transmit t fr msg =
+  msg.m_attempts <- msg.m_attempts + 1;
+  fr.stats.s_transmissions <- fr.stats.s_transmissions + 1;
+  if msg.m_attempts > 1 then
+    fr.stats.s_retransmitted <- fr.stats.s_retransmitted + 1;
+  let link = Fault_plan.link_for fr.plan ~src:msg.m_src ~dst:msg.m_dst in
+  (if fr.crashed.(msg.m_src) then
+     (* a crashed sender transmits nothing; the timer keeps the message
+        alive until recovery *)
+     fr.stats.s_suppressed <- fr.stats.s_suppressed + 1
+   else begin
+     physical_copy t fr link msg;
+     if link.Fault_plan.duplicate > 0.
+        && Ccdb_util.Rng.float fr.frng 1.0 < link.Fault_plan.duplicate
+     then begin
+       fr.stats.s_duplicated <- fr.stats.s_duplicated + 1;
+       physical_copy t fr link msg
+     end
+   end);
+  arm_retry t fr msg
+
+and physical_copy t fr link msg =
+  if link.Fault_plan.drop > 0.
+     && Ccdb_util.Rng.float fr.frng 1.0 < link.Fault_plan.drop
+  then fr.stats.s_dropped <- fr.stats.s_dropped + 1
+  else begin
+    let delay = faulty_delay t fr link ~src:msg.m_src ~dst:msg.m_dst in
+    ignore
+      (Engine.schedule t.engine ~after:delay (fun () -> arrive t fr msg))
+  end
+
+and arm_retry t fr msg =
+  let k = msg.m_attempts - 1 in
+  let rto =
+    Float.min
+      (fr.retry.rto *. (fr.retry.rto_backoff ** float_of_int k))
+      fr.retry.rto_cap
+  in
+  msg.m_timer <-
+    Some
+      (Engine.schedule t.engine ~after:rto (fun () ->
+           msg.m_timer <- None;
+           if not msg.m_acked then
+             if msg.m_attempts > fr.retry.max_retries then expire fr msg
+             else transmit t fr msg))
+
+and expire fr msg =
+  fr.stats.s_expired <- fr.stats.s_expired + 1;
+  let ch = fchannel fr (msg.m_src, msg.m_dst) in
+  if msg.m_seq >= ch.deliver_next && not (Hashtbl.mem ch.ready msg.m_seq)
+  then begin
+    Hashtbl.replace ch.dead msg.m_seq ();
+    release_ready ch
+  end
+
+and arrive t fr msg =
+  if fr.crashed.(msg.m_dst) then
+    (* fail-pause: a dead site neither processes nor acknowledges; the
+       sender's timer will retransmit after recovery *)
+    fr.stats.s_suppressed <- fr.stats.s_suppressed + 1
+  else begin
+    send_ack t fr msg;
+    if not msg.m_received then begin
+      msg.m_received <- true;
+      let ch = fchannel fr (msg.m_src, msg.m_dst) in
+      if msg.m_seq >= ch.deliver_next then begin
+        Hashtbl.replace ch.ready msg.m_seq msg;
+        release_ready ch
+      end
+    end
+  end
+
+and send_ack t fr msg =
+  (* the ack travels the reverse link and is subject to its loss rate; a
+     lost ack just means one more retransmission *)
+  let back = Fault_plan.link_for fr.plan ~src:msg.m_dst ~dst:msg.m_src in
+  if back.Fault_plan.drop > 0.
+     && Ccdb_util.Rng.float fr.frng 1.0 < back.Fault_plan.drop
+  then fr.stats.s_acks_lost <- fr.stats.s_acks_lost + 1
+  else begin
+    let delay = faulty_delay t fr back ~src:msg.m_dst ~dst:msg.m_src in
+    ignore
+      (Engine.schedule t.engine ~after:delay (fun () ->
+           if not fr.crashed.(msg.m_src) && not msg.m_acked then begin
+             msg.m_acked <- true;
+             match msg.m_timer with
+             | Some h ->
+               ignore (Engine.cancel t.engine h);
+               msg.m_timer <- None
+             | None -> ()
+           end))
+  end
+
+let send_faulted t fr ~src ~dst deliver =
+  let ch = fchannel fr (src, dst) in
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  let msg =
+    { m_src = src; m_dst = dst; m_seq = seq; m_deliver = deliver;
+      m_attempts = 0; m_acked = false; m_received = false; m_timer = None }
+  in
+  transmit t fr msg
+
+(* --- the send entry point ----------------------------------------------- *)
+
+let send t ~src ~dst ~kind deliver =
+  let n = t.config.sites in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Net.send: site out of range";
+  count t kind;
+  match t.faults with
+  | Some fr -> send_faulted t fr ~src ~dst deliver
+  | None ->
+    let delay =
+      (if src = dst then t.config.local_delay
+       else t.config.base_delay +. Ccdb_util.Rng.float t.rng t.config.jitter)
+      *. slowdown_factor t ~src ~dst
+    in
+    let naive = Engine.now t.engine +. delay in
+    let front =
+      match Hashtbl.find_opt t.channel_front (src, dst) with
+      | Some f -> f
+      | None -> 0.
+    in
+    let at = if naive > front then naive else front +. 1e-9 in
+    Hashtbl.replace t.channel_front (src, dst) at;
+    ignore (Engine.schedule_at t.engine ~at deliver)
+
+(* --- fault-plan installation -------------------------------------------- *)
+
+let install_faults t ?(retry = default_retry) plan =
+  if t.faults <> None then
+    invalid_arg "Net.install_faults: a fault plan is already installed";
+  if t.total > 0 then
+    invalid_arg "Net.install_faults: traffic has already been sent";
+  if Fault_plan.max_site plan >= t.config.sites then
+    invalid_arg "Net.install_faults: plan names an out-of-range site";
+  if retry.rto <= 0. || retry.rto_backoff < 1. || retry.rto_cap < retry.rto
+     || retry.max_retries < 0
+  then invalid_arg "Net.install_faults: bad retry configuration";
+  let fr =
+    { plan; retry;
+      frng = Ccdb_util.Rng.create ~seed:(Fault_plan.seed plan);
+      channels = Hashtbl.create 64;
+      crashed = Array.make t.config.sites false;
+      stats =
+        { s_transmissions = 0; s_dropped = 0; s_duplicated = 0;
+          s_retransmitted = 0; s_expired = 0; s_suppressed = 0;
+          s_acks_lost = 0; s_crashes = 0; s_recoveries = 0 };
+      crash_listeners = []; recover_listeners = [] }
+  in
+  t.faults <- Some fr;
+  List.iter
+    (fun (c : Fault_plan.crash) ->
+      ignore
+        (Engine.schedule_at t.engine ~at:c.Fault_plan.at (fun () ->
+             fr.crashed.(c.Fault_plan.site) <- true;
+             fr.stats.s_crashes <- fr.stats.s_crashes + 1;
+             List.iter (fun f -> f c.Fault_plan.site) fr.crash_listeners));
+      ignore
+        (Engine.schedule_at t.engine ~at:c.Fault_plan.recover_at (fun () ->
+             fr.crashed.(c.Fault_plan.site) <- false;
+             fr.stats.s_recoveries <- fr.stats.s_recoveries + 1;
+             List.iter (fun f -> f c.Fault_plan.site) fr.recover_listeners)))
+    (Fault_plan.crashes plan)
+
+let fault_plan t = Option.map (fun fr -> fr.plan) t.faults
+
+let fault_stats t =
+  Option.map
+    (fun fr ->
+      { transmissions = fr.stats.s_transmissions;
+        dropped = fr.stats.s_dropped;
+        duplicated = fr.stats.s_duplicated;
+        retransmitted = fr.stats.s_retransmitted;
+        expired = fr.stats.s_expired;
+        suppressed = fr.stats.s_suppressed;
+        acks_lost = fr.stats.s_acks_lost;
+        crashes = fr.stats.s_crashes;
+        recoveries = fr.stats.s_recoveries })
+    t.faults
+
+let is_crashed t site =
+  if site < 0 || site >= t.config.sites then
+    invalid_arg "Net.is_crashed: site out of range";
+  match t.faults with Some fr -> fr.crashed.(site) | None -> false
+
+let on_crash t f =
+  match t.faults with
+  | Some fr -> fr.crash_listeners <- fr.crash_listeners @ [ f ]
+  | None -> ()
+
+let on_recover t f =
+  match t.faults with
+  | Some fr -> fr.recover_listeners <- fr.recover_listeners @ [ f ]
+  | None -> ()
+
+(* --- counters and slowdowns --------------------------------------------- *)
 
 let messages_sent t = t.total
 

@@ -120,10 +120,13 @@ let on_event t = function
     (match reason with
      | Rt.Deadlock_victim | Rt.Prevention_kill ->
        prob_observe t "2pl-abort" true
-     | Rt.To_rejected op -> prob_observe t (op_key "to" op) true)
+     | Rt.To_rejected op -> prob_observe t (op_key "to" op) true
+     (* crash-triggered restarts say nothing about data contention *)
+     | Rt.Site_failure -> ())
   | Rt.Pa_backoff { op; _ } -> prob_observe t (op_key "pa" op) true
   | Rt.Lock_requested _ | Rt.Lock_promoted _ | Rt.Lock_transformed _
-  | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Deadlock_detected _ -> ()
+  | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Deadlock_detected _
+  | Rt.Site_crashed _ | Rt.Site_recovered _ -> ()
 
 let create ?(priors = default_priors) rt =
   let t =

@@ -1,0 +1,247 @@
+(* Fault injection: the plan grammar, the reliable transport, and full
+   faulted runs of every system under a seeded 10%-loss / 2-crash plan,
+   audited by the static analyzer. *)
+
+module FP = Ccdb_sim.Fault_plan
+module Net = Ccdb_sim.Net
+module Engine = Ccdb_sim.Engine
+module D = Ccdb_harness.Driver
+module G = Ccdb_workload.Generator
+
+let check = Alcotest.check
+
+(* --- fault-plan grammar ------------------------------------------------ *)
+
+let plan_of_string s =
+  match FP.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+let test_plan_roundtrip () =
+  let p =
+    plan_of_string
+      "drop=0.1,dup=0.02,delay=0.05x20,crash=1@400+300,seed=7,link=0>2/drop=0.5"
+  in
+  check Alcotest.int "seed" 7 (FP.seed p);
+  check (Alcotest.float 1e-9) "default drop" 0.1 (FP.default_link p).FP.drop;
+  check (Alcotest.float 1e-9) "override drop" 0.5
+    (FP.link_for p ~src:0 ~dst:2).FP.drop;
+  check (Alcotest.float 1e-9) "override inherits nothing" 0.
+    (FP.link_for p ~src:0 ~dst:2).FP.duplicate;
+  check Alcotest.bool "crashed at 500" true (FP.is_crashed p ~site:1 ~at:500.);
+  check Alcotest.bool "recovered at 700" false
+    (FP.is_crashed p ~site:1 ~at:700.);
+  check Alcotest.int "max site" 2 (FP.max_site p);
+  let p' = plan_of_string (FP.to_string p) in
+  check Alcotest.string "round-trip" (FP.to_string p) (FP.to_string p')
+
+let test_plan_none () =
+  check Alcotest.string "empty plan prints none" "none" (FP.to_string FP.none);
+  let p = plan_of_string "none" in
+  check Alcotest.int "none max site" (-1) (FP.max_site p)
+
+let test_plan_rejects () =
+  let bad s =
+    match FP.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "drop=1.5";
+  bad "drop=nope";
+  bad "crash=1@400";
+  bad "crash=1@100+0";
+  bad "crash=1@100+300,crash=1@200+50";
+  bad "frobnicate=1";
+  bad "link=0-2/drop=0.5"
+
+(* --- reliable transport ------------------------------------------------ *)
+
+let transport ?(sites = 3) plan =
+  let engine = Engine.create () in
+  let rng = Ccdb_util.Rng.create ~seed:99 in
+  let net = Net.create engine rng (Net.default_config ~sites) in
+  Net.install_faults net plan;
+  (engine, net)
+
+let test_transport_in_order_exactly_once () =
+  let plan =
+    FP.make ~seed:3
+      ~default_link:
+        { FP.drop = 0.3; duplicate = 0.25; delay_prob = 0.2; delay_mean = 15. }
+      ()
+  in
+  let engine, net = transport plan in
+  let received = ref [] in
+  for i = 0 to 39 do
+    Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+        received := i :: !received)
+  done;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "in order, exactly once"
+    (List.init 40 (fun i -> i))
+    (List.rev !received);
+  let stats = Option.get (Net.fault_stats net) in
+  check Alcotest.bool "losses happened" true (stats.Net.dropped > 0);
+  check Alcotest.bool "retransmissions happened" true
+    (stats.Net.retransmitted > 0);
+  check Alcotest.int "nothing expired" 0 stats.Net.expired;
+  check Alcotest.int "logical count unchanged" 40 (Net.messages_sent net)
+
+let test_transport_rides_out_crash () =
+  let plan = plan_of_string "crash=1@0+100,seed=5" in
+  let engine, net = transport plan in
+  let delivered_at = ref (-1.) in
+  Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () ->
+      delivered_at := Engine.now engine);
+  ignore
+    (Engine.schedule_at engine ~at:50. (fun () ->
+         check Alcotest.bool "crashed at 50" true (Net.is_crashed net 1)));
+  ignore
+    (Engine.schedule_at engine ~at:150. (fun () ->
+         check Alcotest.bool "recovered at 150" false (Net.is_crashed net 1)));
+  Engine.run engine;
+  check Alcotest.bool "delivered after recovery" true (!delivered_at >= 100.);
+  let stats = Option.get (Net.fault_stats net) in
+  check Alcotest.int "one crash" 1 stats.Net.crashes;
+  check Alcotest.int "one recovery" 1 stats.Net.recoveries;
+  check Alcotest.bool "suppressed deliveries counted" true
+    (stats.Net.suppressed > 0)
+
+let test_install_guards () =
+  let engine = Engine.create () in
+  let rng = Ccdb_util.Rng.create ~seed:1 in
+  let net = Net.create engine rng (Net.default_config ~sites:2) in
+  (* plans must fit the topology *)
+  Alcotest.check_raises "out-of-range site"
+    (Invalid_argument "Net.install_faults: plan names an out-of-range site")
+    (fun () -> Net.install_faults net (plan_of_string "crash=4@10+10"));
+  Net.send net ~src:0 ~dst:1 ~kind:"m" (fun () -> ());
+  (* too late once traffic has flowed *)
+  (try
+     Net.install_faults net FP.none;
+     Alcotest.fail "installed after traffic"
+   with Invalid_argument _ -> ());
+  check Alcotest.bool "no plan" true (Net.fault_plan net = None);
+  check Alcotest.bool "no stats" true (Net.fault_stats net = None)
+
+(* --- full faulted runs, audited ---------------------------------------- *)
+
+let spec =
+  { G.default with
+    arrival_rate = 0.08;
+    size_min = 1;
+    size_max = 3;
+    protocol_mix =
+      [ (Ccdb_model.Protocol.Two_pl, 1.);
+        (Ccdb_model.Protocol.T_o, 1.);
+        (Ccdb_model.Protocol.Pa, 1.) ] }
+
+(* the acceptance plan: 10% loss everywhere, two mid-run site crashes *)
+let acceptance_plan =
+  plan_of_string "drop=0.1,crash=1@400+300,crash=2@1200+300,seed=11"
+
+let all_modes =
+  [ D.Pure Ccdb_model.Protocol.Two_pl;
+    D.Pure Ccdb_model.Protocol.T_o;
+    D.Pure Ccdb_model.Protocol.Pa;
+    D.Unified;
+    D.Unified_forced Ccdb_model.Protocol.Two_pl;
+    D.Unified_forced Ccdb_model.Protocol.T_o;
+    D.Unified_forced Ccdb_model.Protocol.Pa;
+    D.Unified_full_lock;
+    D.Dynamic;
+    D.Mvto;
+    D.Conservative ]
+
+let test_every_system_survives_the_acceptance_plan () =
+  List.iter
+    (fun mode ->
+      let name = D.mode_name mode in
+      let r = D.run ~n_txns:200 ~audit:true ~faults:acceptance_plan mode spec in
+      check Alcotest.int (name ^ " all txns commit") 200 r.summary.committed;
+      (* MVTO keeps the physical store as a newest-committed-version cache,
+         not a write-all log, so the single-version store checks do not
+         apply to it (its executions are verified by [Mvto_system.verify]
+         and by the trace-level audit below) *)
+      if mode <> D.Mvto then begin
+        check Alcotest.bool (name ^ " serializable") true
+          r.summary.serializable;
+        check Alcotest.bool (name ^ " replicas consistent") true
+          r.summary.replica_consistent
+      end;
+      let report = Option.get r.audit in
+      check Alcotest.int
+        (name ^ " zero analyzer errors")
+        0
+        (List.length (Ccdb_analysis.Report.errors report));
+      (* crash mid-run leaks no locks: the leak check never fires, at any
+         severity, so every lock table drained after recovery *)
+      check Alcotest.int
+        (name ^ " no leaked locks")
+        0
+        (List.length
+           (List.filter
+              (fun (f : Ccdb_analysis.Finding.t) -> f.check = "lock.leaked")
+              (Ccdb_analysis.Report.findings report)));
+      let stats = Option.get r.summary.transport in
+      check Alcotest.bool (name ^ " dropped messages were retried") true
+        (stats.Net.retransmitted > 0);
+      check Alcotest.int (name ^ " both crashes happened") 2 stats.Net.crashes;
+      check Alcotest.int (name ^ " both sites recovered") 2
+        stats.Net.recoveries;
+      check Alcotest.int (name ^ " no message expired") 0 stats.Net.expired)
+    all_modes
+
+let test_faulted_run_is_deterministic () =
+  let go () =
+    let r =
+      D.run ~n_txns:120 ~faults:acceptance_plan
+        (D.Pure Ccdb_model.Protocol.Two_pl) spec
+    in
+    ( r.summary.committed,
+      r.summary.duration,
+      r.summary.site_aborts,
+      (Option.get r.summary.transport).Net.transmissions )
+  in
+  let a = go () and b = go () in
+  check Alcotest.bool "same seeds, same run" true (a = b)
+
+let test_crashes_cause_site_aborts_for_2pl () =
+  (* a long dense crash window across a busy run must hit some waiting txn *)
+  let plan = plan_of_string "crash=1@300+400,crash=2@900+400,seed=4" in
+  let r =
+    D.run ~n_txns:150 ~faults:plan (D.Pure Ccdb_model.Protocol.Two_pl) spec
+  in
+  check Alcotest.int "all commit anyway" 150 r.summary.committed;
+  check Alcotest.bool "crash-triggered aborts recorded" true
+    (r.summary.site_aborts > 0)
+
+let test_fault_free_numbers_do_not_drift () =
+  (* the no-plan send path must be byte-identical to the pre-fault code:
+     pin a fault-free run's headline numbers *)
+  let r = D.run ~n_txns:80 (D.Pure Ccdb_model.Protocol.Two_pl) spec in
+  check Alcotest.int "committed" 80 r.summary.committed;
+  check Alcotest.bool "no transport stats without a plan" true
+    (r.summary.transport = None);
+  check Alcotest.int "no site aborts without a plan" 0 r.summary.site_aborts
+
+let suites =
+  [ ( "faults.plan",
+      [ Alcotest.test_case "grammar round-trip" `Quick test_plan_roundtrip;
+        Alcotest.test_case "none" `Quick test_plan_none;
+        Alcotest.test_case "rejects" `Quick test_plan_rejects ] );
+    ( "faults.transport",
+      [ Alcotest.test_case "in-order exactly-once" `Quick
+          test_transport_in_order_exactly_once;
+        Alcotest.test_case "rides out a crash" `Quick
+          test_transport_rides_out_crash;
+        Alcotest.test_case "install guards" `Quick test_install_guards ] );
+    ( "faults.systems",
+      [ Alcotest.test_case "acceptance plan, all systems" `Slow
+          test_every_system_survives_the_acceptance_plan;
+        Alcotest.test_case "deterministic" `Quick
+          test_faulted_run_is_deterministic;
+        Alcotest.test_case "2PL crash aborts" `Quick
+          test_crashes_cause_site_aborts_for_2pl;
+        Alcotest.test_case "fault-free path unchanged" `Quick
+          test_fault_free_numbers_do_not_drift ] ) ]

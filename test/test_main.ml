@@ -10,4 +10,5 @@ let () =
     @ Test_stl.suites
     @ Test_workload.suites
     @ Test_harness.suites
-    @ Test_analysis.suites)
+    @ Test_analysis.suites
+    @ Test_faults.suites)
