@@ -11,6 +11,8 @@ let quick = ref false
 let micro_only = ref false
 let exp_only = ref false
 let audit = ref false
+let jobs = ref (Ccdb_harness.Parallel.default_jobs ())
+let json_path = ref None
 
 let () =
   let specs =
@@ -18,7 +20,13 @@ let () =
       ("--micro-only", Arg.Set micro_only, " only the micro-benchmarks");
       ("--exp-only", Arg.Set exp_only, " only the experiment tables");
       ("--audit", Arg.Set audit,
-       " statically verify a traced run of every system first") ]
+       " statically verify a traced run of every system first");
+      ("--jobs", Arg.Set_int jobs,
+       "N fan experiment points across N domains (default: recommended \
+        domain count)");
+      ("--json", Arg.String (fun p -> json_path := Some p),
+       "FILE write a machine-readable baseline (ns/op, r^2, wall-clocks) \
+        to FILE") ]
   in
   let usage = "usage: dune exec bench/main.exe -- [options]" in
   (* unknown flags and stray positional arguments are hard errors, so a
@@ -31,6 +39,8 @@ let quick = !quick
 let micro_only = !micro_only
 let exp_only = !exp_only
 let audit = !audit
+let jobs = max 1 !jobs
+let json_path = !json_path
 
 (* ----------------------------------------------------------------- audit *)
 
@@ -71,15 +81,71 @@ let run_audit () =
 
 (* ----------------------------------------------------------- experiments *)
 
+type exp_stats = {
+  n_experiments : int;
+  n_points : int;
+  serial_s : float;
+  (* (jobs, wall-clock, tables byte-identical to serial) when a parallel
+     pass ran as well *)
+  parallel : (int * float * bool) option;
+}
+
+let render_all outcomes =
+  String.concat ""
+    (List.map (fun o -> Ccdb_harness.Experiments.render o ^ "\n") outcomes)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* With [--json] the suite runs twice — serially and at [jobs] domains — so
+   the baseline records both wall-clocks and pins that the parallel tables
+   are byte-identical.  Without it the suite runs once at [jobs]. *)
 let run_experiments () =
   print_endline "=== Paper reproduction: one table per experiment ===";
   print_endline
     (if quick then "(quick mode: reduced transaction counts)\n" else "");
-  List.iter
-    (fun o ->
-      print_endline (Ccdb_harness.Experiments.render o);
-      print_newline ())
-    (Ccdb_harness.Experiments.all ~quick ())
+  let staged = Ccdb_harness.Experiments.staged ~quick () in
+  let n_experiments = List.length staged in
+  let n_points =
+    List.fold_left
+      (fun acc s -> acc + Ccdb_harness.Experiments.points_count s)
+      0 staged
+  in
+  let want_both = json_path <> None && jobs > 1 in
+  if want_both || jobs <= 1 then begin
+    let serial, serial_s =
+      timed (fun () -> Ccdb_harness.Parallel.experiments ~quick ~jobs:1 ())
+    in
+    let serial_txt = render_all serial in
+    print_string serial_txt;
+    let parallel =
+      if not want_both then None
+      else begin
+        let par, par_s =
+          timed (fun () -> Ccdb_harness.Parallel.experiments ~quick ~jobs ())
+        in
+        let identical = String.equal (render_all par) serial_txt in
+        Printf.printf
+          "(suite wall-clock: %.2fs serial, %.2fs at %d jobs; tables %s)\n\n"
+          serial_s par_s jobs
+          (if identical then "byte-identical" else "DIFFER");
+        Some (jobs, par_s, identical)
+      end
+    in
+    { n_experiments; n_points; serial_s; parallel }
+  end
+  else begin
+    let outs, par_s =
+      timed (fun () -> Ccdb_harness.Parallel.experiments ~quick ~jobs ())
+    in
+    print_string (render_all outs);
+    (* a single parallel pass has no serial wall-clock to compare against;
+       record what ran *)
+    { n_experiments; n_points; serial_s = par_s;
+      parallel = Some (jobs, par_s, true) }
+  end
 
 (* ------------------------------------------------------ micro-benchmarks *)
 
@@ -116,16 +182,32 @@ let bench_semi_lock_cycle =
           ignore (Core.Semi_lock_queue.release q ~txn)))
 
 let bench_lock_table_cycle =
+  (* one request -> grant sweep -> release cycle on a contended copy: a
+     granted writer with sixteen readers queued behind it — the canonical
+     hot-copy pattern, and the one where the grant sweep's complexity
+     actually shows (every waiting read is checked against all the
+     non-conflicting reads ahead of it before the blocking writer) *)
   Bechamel.Test.make ~name:"lock_table.cycle"
     (Bechamel.Staged.stage
        (let counter = ref 0 in
         let t = Ccdb_protocols.Lock_table.create () in
+        let () =
+          ignore
+            (Ccdb_protocols.Lock_table.request t ~txn:1_000_000 ~attempt:0
+               ~op:Ccdb_model.Op.Write);
+          for i = 1 to 16 do
+            ignore
+              (Ccdb_protocols.Lock_table.request t ~txn:(1_000_000 + i)
+                 ~attempt:0 ~op:Ccdb_model.Op.Read)
+          done;
+          ignore (Ccdb_protocols.Lock_table.grant_ready t)
+        in
         fun () ->
           incr counter;
           let txn = !counter in
           ignore
             (Ccdb_protocols.Lock_table.request t ~txn ~attempt:0
-               ~op:Ccdb_model.Op.Write);
+               ~op:Ccdb_model.Op.Read);
           ignore (Ccdb_protocols.Lock_table.grant_ready t);
           ignore (Ccdb_protocols.Lock_table.release t ~txn ~attempt:0)))
 
@@ -236,9 +318,61 @@ let run_micro () =
         [ name; Ccdb_util.Table.fmt_float ~decimals:1 ns;
           Ccdb_util.Table.fmt_float ~decimals:4 r2 ])
     rows;
-  print_string (Ccdb_util.Table.render table)
+  print_string (Ccdb_util.Table.render table);
+  rows
+
+(* ------------------------------------------------------------------ json *)
+
+let write_json path ~exp ~micro =
+  let open Ccdb_util.Json in
+  let micro_j =
+    match micro with
+    | None -> Null
+    | Some rows ->
+      List
+        (List.map
+           (fun (name, ns, r2) ->
+             Obj
+               [ ("name", Str name); ("ns_per_op", Num ns);
+                 ("r_square", Num r2) ])
+           rows)
+  in
+  let exp_j =
+    match exp with
+    | None -> Null
+    | Some e ->
+      Obj
+        ([ ("count", Num (float_of_int e.n_experiments));
+           ("points", Num (float_of_int e.n_points));
+           ("serial_wall_clock_s", Num e.serial_s) ]
+         @
+         match e.parallel with
+         | None -> []
+         | Some (n, par_s, identical) ->
+           [ ("parallel_jobs", Num (float_of_int n));
+             ("parallel_wall_clock_s", Num par_s);
+             ("speedup", Num (e.serial_s /. par_s));
+             ("identical_tables", Bool identical) ])
+  in
+  let doc =
+    Obj
+      [ ("schema", Str "ccdb-bench/1");
+        ("quick", Bool quick);
+        ("cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        ("jobs", Num (float_of_int jobs));
+        ("micro", micro_j);
+        ("experiments", exp_j) ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
 
 let () =
   if audit then run_audit ();
-  if not micro_only then run_experiments ();
-  if not exp_only then run_micro ()
+  let exp = if not micro_only then Some (run_experiments ()) else None in
+  let micro = if not exp_only then Some (run_micro ()) else None in
+  match json_path with
+  | None -> ()
+  | Some path -> write_json path ~exp ~micro

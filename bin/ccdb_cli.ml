@@ -261,7 +261,17 @@ let experiments_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV.")
   in
-  let run quick only csv_dir =
+  let jobs =
+    Arg.(value
+         & opt int (Ccdb_harness.Parallel.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:
+               "Fan independent experiment points across $(docv) domains \
+                (default: recommended domain count).  Output is \
+                byte-identical for every job count; 1 takes the plain \
+                serial path.")
+  in
+  let run quick only csv_dir jobs =
     let wanted o =
       only = [] || List.exists (fun id -> String.uppercase_ascii id = o.Ccdb_harness.Experiments.id) only
     in
@@ -282,12 +292,12 @@ let experiments_cmd =
             close_out oc;
             Printf.printf "(wrote %s)\n\n" path
         end)
-      (Ccdb_harness.Experiments.all ~quick ())
+      (Ccdb_harness.Parallel.experiments ~quick ~jobs ())
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper-reproduction tables (E1-E11).")
-    Term.(const run $ quick $ only $ csv_dir)
+    Term.(const run $ quick $ only $ csv_dir $ jobs)
 
 (* --------------------------------------------------------------- faults *)
 

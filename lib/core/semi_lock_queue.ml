@@ -18,25 +18,74 @@ type entry = {
 
 type grant = { entry : entry; schedule : Ccdb_model.Lock.schedule }
 
+(* The hot paths this queue sits on run once per request, grant and release
+   of every simulated lock, so the representation carries three indexes on
+   top of the precedence-sorted entry list:
+
+   - [index]: txn -> entry, so duplicate detection and the by-txn lookups
+     ([update_ts], [transform], [release], [abort]) are O(1) instead of a
+     list scan;
+   - [n_rl]/[n_wl]/[n_srl]/[n_swl]: how many entries currently hold a lock
+     of each mode.  Only ungranted entries are ever probed by
+     [grant_check], and a transaction has at most one entry here, so these
+     counts are exactly the "locks held by other transactions" the
+     semi-lock rules test — each rule becomes a counter comparison instead
+     of rebuilding the held-lock list;
+   - [granted_r]/[granted_w]: cached maxima of [prec.ts] over currently
+     granted reads (resp. writes), replacing the full fold the old
+     [granted_max] ran on every timestamped request.  The caches grow
+     monotonically at grant time and only go stale when a granted entry
+     leaves without advancing the released high-water mark (an abort or a
+     PA timestamp revocation) — the dirty flags force a recompute on the
+     next [r_ts]/[w_ts] read, so the observable values never change. *)
 type t = {
   semi_locks : bool;
   mutable entries : entry list; (* sorted by unified precedence *)
+  index : (int, entry) Hashtbl.t;
   mutable max_ts_seen : int;    (* biggest timestamp ever in this queue *)
   mutable arrival_counter : int;
   mutable grant_counter : int;
   mutable r_released : int;     (* high-water marks of released entries *)
   mutable w_released : int;
+  mutable n_rl : int;           (* held locks by mode *)
+  mutable n_wl : int;
+  mutable n_srl : int;
+  mutable n_swl : int;
+  mutable granted_r : int;      (* cached granted-ts maxima + dirty flags *)
+  mutable granted_w : int;
+  mutable granted_r_dirty : bool;
+  mutable granted_w_dirty : bool;
 }
 
 let create ?(semi_locks = true) () =
-  { semi_locks; entries = []; max_ts_seen = 0; arrival_counter = 0;
-    grant_counter = 0; r_released = -1; w_released = -1 }
+  { semi_locks; entries = []; index = Hashtbl.create 16; max_ts_seen = 0;
+    arrival_counter = 0; grant_counter = 0; r_released = -1; w_released = -1;
+    n_rl = 0; n_wl = 0; n_srl = 0; n_swl = 0;
+    granted_r = -1; granted_w = -1;
+    granted_r_dirty = false; granted_w_dirty = false }
 
 let compare_entries a b = Ccdb_model.Precedence.compare a.prec b.prec
 
-let sort t = t.entries <- List.stable_sort compare_entries t.entries
+(* Precedence is a total order over distinct entries (timestamp, then
+   origin, then site/txn or arrival), so inserting before the first
+   strictly greater entry reproduces exactly what appending and running
+   [List.stable_sort] used to produce. *)
+let insert_sorted t e =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest ->
+      if compare_entries e x < 0 then e :: x :: rest else x :: go rest
+  in
+  t.entries <- go t.entries
 
-let granted_max t op =
+let count_held t delta mode =
+  match (mode : Ccdb_model.Lock.mode) with
+  | Ccdb_model.Lock.Rl -> t.n_rl <- t.n_rl + delta
+  | Ccdb_model.Lock.Wl -> t.n_wl <- t.n_wl + delta
+  | Ccdb_model.Lock.Srl -> t.n_srl <- t.n_srl + delta
+  | Ccdb_model.Lock.Swl -> t.n_swl <- t.n_swl + delta
+
+let recompute_granted t op =
   List.fold_left
     (fun acc e ->
       if e.lock <> None && Ccdb_model.Op.equal e.op op then
@@ -44,16 +93,46 @@ let granted_max t op =
       else acc)
     (-1) t.entries
 
-let r_ts t = max t.r_released (granted_max t Ccdb_model.Op.Read)
-let w_ts t = max t.w_released (granted_max t Ccdb_model.Op.Write)
+let r_ts t =
+  if t.granted_r_dirty then begin
+    t.granted_r <- recompute_granted t Ccdb_model.Op.Read;
+    t.granted_r_dirty <- false
+  end;
+  max t.r_released t.granted_r
+
+let w_ts t =
+  if t.granted_w_dirty then begin
+    t.granted_w <- recompute_granted t Ccdb_model.Op.Write;
+    t.granted_w_dirty <- false
+  end;
+  max t.w_released t.granted_w
+
+let note_granted t (e : entry) =
+  let ts = e.prec.Ccdb_model.Precedence.ts in
+  match e.op with
+  | Ccdb_model.Op.Read ->
+    if not t.granted_r_dirty then t.granted_r <- max t.granted_r ts
+  | Ccdb_model.Op.Write ->
+    if not t.granted_w_dirty then t.granted_w <- max t.granted_w ts
+
+let note_ungranted t (e : entry) =
+  (* a granted entry left without its timestamp being folded into the
+     released high-water mark: the cached granted maximum may overstate *)
+  match e.op with
+  | Ccdb_model.Op.Read -> t.granted_r_dirty <- true
+  | Ccdb_model.Op.Write -> t.granted_w_dirty <- true
 
 let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
-  if List.exists (fun e -> e.txn = txn) t.entries then
+  if Hashtbl.mem t.index txn then
     invalid_arg "Semi_lock_queue.request: duplicate request";
   let fresh prec blocked =
     { txn; site; protocol; op; interval; epoch; prec; blocked; lock = None;
       schedule = Ccdb_model.Lock.Normal; grant_seq = -1; granted_at = 0.;
       implemented = false }
+  in
+  let admit e =
+    Hashtbl.add t.index txn e;
+    insert_sorted t e
   in
   match protocol, ts with
   | Ccdb_model.Protocol.Two_pl, None ->
@@ -63,8 +142,7 @@ let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
         ~arrival:t.arrival_counter
     in
     t.arrival_counter <- t.arrival_counter + 1;
-    t.entries <- t.entries @ [ fresh prec false ];
-    sort t;
+    admit (fresh prec false);
     Accepted
   | (Ccdb_model.Protocol.T_o | Ccdb_model.Protocol.Pa), Some ts ->
     let floor =
@@ -72,14 +150,13 @@ let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
       | Ccdb_model.Op.Read -> w_ts t
       | Ccdb_model.Op.Write -> max (w_ts t) (r_ts t)
     in
-    let admit ts blocked =
+    let admit_ts ts blocked =
       t.max_ts_seen <- max t.max_ts_seen ts;
       let prec = Ccdb_model.Precedence.timestamped ~ts ~site ~txn in
-      t.entries <- t.entries @ [ fresh prec blocked ];
-      sort t
+      admit (fresh prec blocked)
     in
     if ts > floor then begin
-      admit ts false;
+      admit_ts ts false;
       Accepted
     end
     else begin
@@ -88,7 +165,7 @@ let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
       | Ccdb_model.Protocol.Pa ->
         let tuple = Ccdb_model.Timestamp.Tuple.make ~ts ~interval in
         let ts' = Ccdb_model.Timestamp.Tuple.backoff tuple ~floor in
-        admit ts' true;
+        admit_ts ts' true;
         Backoff ts'
       | Ccdb_model.Protocol.Two_pl -> assert false
     end
@@ -98,18 +175,24 @@ let request t ~txn ~site ~protocol ~ts ~interval ~epoch ~op =
     invalid_arg "Semi_lock_queue.request: timestamped protocol needs a ts"
 
 let update_ts t ~txn ~ts =
-  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  match Hashtbl.find_opt t.index txn with
   | None -> `Absent
   | Some e ->
     let revoked = e.lock <> None in
+    (match e.lock with
+     | Some mode ->
+       count_held t (-1) mode;
+       note_ungranted t e
+     | None -> ());
     t.max_ts_seen <- max t.max_ts_seen ts;
+    t.entries <- List.filter (fun e' -> e'.txn <> txn) t.entries;
     e.prec <-
       Ccdb_model.Precedence.timestamped ~ts ~site:e.site ~txn:e.txn;
     e.blocked <- false;
     e.lock <- None;
     e.schedule <- Ccdb_model.Lock.Normal;
     e.grant_seq <- -1;
-    sort t;
+    insert_sorted t e;
     if revoked then `Revoked else `Moved
 
 let lock_mode_for t (e : entry) =
@@ -124,47 +207,38 @@ let lock_mode_for t (e : entry) =
   | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Write -> Ccdb_model.Lock.Wl
 
 (* May [e] be granted now, given the currently held locks?  Returns the
-   grant's schedule when allowed. *)
+   grant's schedule when allowed.  [e] is ungranted and a transaction has
+   at most one entry per queue, so the held-mode counters are exactly the
+   locks held by other transactions. *)
 let grant_check t (e : entry) =
-  let held =
-    List.filter_map (fun e' -> Option.map (fun m -> m) e'.lock)
-      (List.filter (fun e' -> e'.txn <> e.txn) t.entries)
-  in
-  let has mode_pred = List.exists mode_pred held in
+  let held_any = t.n_rl + t.n_wl + t.n_srl + t.n_swl > 0 in
   let to_semi_rules =
     (* semi-lock grant rules, section 4.2 rule 2 *)
     match e.protocol, e.op with
     | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Read ->
       (* RL once no WL or SWL is held *)
-      if has Ccdb_model.Lock.is_write_mode then None
-      else Some Ccdb_model.Lock.Normal
+      if t.n_wl + t.n_swl > 0 then None else Some Ccdb_model.Lock.Normal
     | (Ccdb_model.Protocol.Two_pl | Ccdb_model.Protocol.Pa), Ccdb_model.Op.Write ->
       (* WL once nothing is held *)
-      if held <> [] then None else Some Ccdb_model.Lock.Normal
+      if held_any then None else Some Ccdb_model.Lock.Normal
     | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Read ->
       (* SRL once no plain WL is held; pre-scheduled under a held SWL *)
-      if has (fun m -> Ccdb_model.Lock.equal m Ccdb_model.Lock.Wl) then None
-      else if has (fun m -> Ccdb_model.Lock.equal m Ccdb_model.Lock.Swl) then
-        Some Ccdb_model.Lock.Pre_scheduled
+      if t.n_wl > 0 then None
+      else if t.n_swl > 0 then Some Ccdb_model.Lock.Pre_scheduled
       else Some Ccdb_model.Lock.Normal
     | Ccdb_model.Protocol.T_o, Ccdb_model.Op.Write ->
       (* WL once no RL and no WL held; pre-scheduled under held SRL/SWL *)
-      if
-        has (fun m ->
-            Ccdb_model.Lock.equal m Ccdb_model.Lock.Rl
-            || Ccdb_model.Lock.equal m Ccdb_model.Lock.Wl)
-      then None
-      else if has Ccdb_model.Lock.is_semi then Some Ccdb_model.Lock.Pre_scheduled
+      if t.n_rl + t.n_wl > 0 then None
+      else if t.n_srl + t.n_swl > 0 then Some Ccdb_model.Lock.Pre_scheduled
       else Some Ccdb_model.Lock.Normal
   in
   let full_lock_rules =
     (* the paper's simple alternative: everything locks like 2PL/PA *)
     match e.op with
     | Ccdb_model.Op.Read ->
-      if has Ccdb_model.Lock.is_write_mode then None
-      else Some Ccdb_model.Lock.Normal
+      if t.n_wl + t.n_swl > 0 then None else Some Ccdb_model.Lock.Normal
     | Ccdb_model.Op.Write ->
-      if held <> [] then None else Some Ccdb_model.Lock.Normal
+      if held_any then None else Some Ccdb_model.Lock.Normal
   in
   if t.semi_locks then to_semi_rules else full_lock_rules
 
@@ -181,7 +255,10 @@ let grant_ready t ~now =
         match grant_check t e with
         | None -> ()
         | Some schedule ->
-          e.lock <- Some (lock_mode_for t e);
+          let mode = lock_mode_for t e in
+          e.lock <- Some mode;
+          count_held t 1 mode;
+          note_granted t e;
           e.schedule <- schedule;
           e.grant_seq <- t.grant_counter;
           t.grant_counter <- t.grant_counter + 1;
@@ -194,11 +271,15 @@ let grant_ready t ~now =
   List.rev !newly
 
 let transform t ~txn =
-  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  match Hashtbl.find_opt t.index txn with
   | None -> None
   | Some e ->
     (match e.lock with
-     | Some mode -> e.lock <- Some (Ccdb_model.Lock.to_semi mode)
+     | Some mode ->
+       let semi = Ccdb_model.Lock.to_semi mode in
+       count_held t (-1) mode;
+       count_held t 1 semi;
+       e.lock <- Some semi
      | None -> ());
     Some e
 
@@ -220,10 +301,19 @@ let promotions t =
     t.entries
 
 let remove t ~txn ~advance_hwm =
-  match List.find_opt (fun e -> e.txn = txn) t.entries with
+  match Hashtbl.find_opt t.index txn with
   | None -> None
   | Some e ->
+    Hashtbl.remove t.index txn;
     t.entries <- List.filter (fun e' -> e'.txn <> txn) t.entries;
+    (match e.lock with
+     | Some mode ->
+       count_held t (-1) mode;
+       (* a release folds the departing timestamp into the released
+          high-water mark below, so the cached granted maximum cannot
+          overstate; an abort does not, hence the dirty flag *)
+       if not advance_hwm then note_ungranted t e
+     | None -> ());
     if advance_hwm then begin
       let ts = e.prec.Ccdb_model.Precedence.ts in
       match e.op with

@@ -79,8 +79,38 @@ val x6_reselection : ?quick:bool -> unit -> outcome
 val x7_selection_criteria : ?quick:bool -> unit -> outcome
 (** Section 5.1's argument, tested: min-STL vs min-own-response-time. *)
 
-val all : ?quick:bool -> unit -> outcome list
-(** Every experiment in order (E1-E11 then X1-X7). *)
+(** {2 Staged execution}
+
+    Each experiment decomposes into independent measurement {e points} (one
+    per sweep value; each owns its private engine, RNG and catalog) plus a
+    pure assembly function mapping the point values, in input order, to the
+    outcome.  Assembly never depends on execution order, so a parallel
+    runner that preserves result order (see {!Parallel}) produces
+    byte-identical tables to the serial path. *)
+
+type staged
+(** One experiment, decomposed but not yet run. *)
+
+val staged : ?quick:bool -> unit -> staged list
+(** Every experiment in order (E1-E11 then X1-X7), decomposed. *)
+
+val points_count : staged -> int
+(** Number of independent points the experiment fans out. *)
+
+val prepare : staged -> (unit -> unit) list * (unit -> outcome)
+(** [(tasks, finish)]: the point thunks (each fills a private result slot)
+    and the assembly closure.  Run every task — in any order, on any
+    domain — then call [finish].  [finish] raises [Invalid_argument] if a
+    task never ran. *)
+
+val run_one : staged -> outcome
+(** Runs the points serially, in order, and assembles. *)
+
+val all : ?quick:bool -> ?runner:((unit -> unit) list -> unit) -> unit -> outcome list
+(** Every experiment in order (E1-E11 then X1-X7).  [runner] receives the
+    flattened point tasks of all experiments and must run each exactly once
+    (default: serially, in order); outcomes are assembled in experiment
+    order afterwards regardless of how the runner scheduled the tasks. *)
 
 val render : outcome -> string
 (** Header + claim + table + notes, ready to print. *)

@@ -1,0 +1,15 @@
+module Pool = Ccdb_util.Pool
+
+let default_jobs = Pool.default_jobs
+
+let experiments ?(quick = false) ~jobs () =
+  if jobs <= 1 then Experiments.all ~quick ()
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        Experiments.all ~quick
+          ~runner:(fun tasks -> ignore (Pool.map pool (fun f -> f ()) tasks))
+          ())
+
+let map ~jobs f items =
+  if jobs <= 1 then List.map f items
+  else Pool.with_pool ~jobs (fun pool -> Pool.map pool f items)

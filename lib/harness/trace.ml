@@ -1,15 +1,33 @@
 module Rt = Ccdb_protocols.Runtime
 
-type t = { mutable events : Rt.event list (* newest first *) }
+type t = {
+  mutable events : Rt.event list; (* newest first *)
+  mutable n_events : int;         (* List.length events, maintained O(1) *)
+}
 
 let attach rt =
-  let t = { events = [] } in
-  Rt.subscribe rt (fun e -> t.events <- e :: t.events);
+  let t = { events = []; n_events = 0 } in
+  Rt.subscribe rt (fun e ->
+      t.events <- e :: t.events;
+      t.n_events <- t.n_events + 1);
   t
 
 let events t = List.rev t.events
-let count t = List.length t.events
-let to_array t = Array.of_list (events t)
+let count t = t.n_events
+
+let to_array t =
+  match t.events with
+  | [] -> [||]
+  | hd :: _ ->
+    let arr = Array.make t.n_events hd in
+    let rec fill i = function
+      | [] -> ()
+      | e :: rest ->
+        arr.(i) <- e;
+        fill (i - 1) rest
+    in
+    fill (t.n_events - 1) t.events;
+    arr
 
 let pp_ts ppf = function
   | Some ts -> Format.fprintf ppf " ts=%d" ts
@@ -84,12 +102,23 @@ let pp_event ppf (e : Rt.event) =
     Format.fprintf ppf "%8.1f  recover  site s%d up" at site
 
 let render ?limit t =
-  let evs = events t in
-  let evs =
+  (* [events] is newest-first, so the [limit] most recent are its prefix:
+     take it, then emit in one reversed pass — no length/filteri double
+     traversal of the full history. *)
+  let suffix =
     match limit with
-    | Some n when List.length evs > n ->
-      let skip = List.length evs - n in
-      List.filteri (fun i _ -> i >= skip) evs
-    | Some _ | None -> evs
+    | Some l when l < t.n_events ->
+      let rec take k acc = function
+        | e :: rest when k > 0 -> take (k - 1) (e :: acc) rest
+        | _ -> acc
+      in
+      take (max 0 l) [] t.events
+    | Some _ | None -> List.rev t.events
   in
-  String.concat "\n" (List.map (Format.asprintf "%a" pp_event) evs)
+  let buf = Buffer.create (256 * (List.length suffix + 1)) in
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (Format.asprintf "%a" pp_event e))
+    suffix;
+  Buffer.contents buf

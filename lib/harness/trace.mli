@@ -24,3 +24,5 @@ val render : ?limit:int -> t -> string
     v} *)
 
 val count : t -> int
+(** Number of recorded events; O(1) (a running counter, not a list
+    traversal). *)

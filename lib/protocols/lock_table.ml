@@ -6,54 +6,99 @@ type entry = {
   mutable granted : bool;
 }
 
+(* FCFS queue as a front list (oldest first) plus a reversed back list, so
+   [request] is O(1) instead of the old [queue @ [entry]] append; the two
+   halves are normalised into [front] before any in-order traversal.  The
+   [(txn, attempt)] index makes [release] of an absent or stale entry (the
+   common retransmission case) a hash probe instead of a full scan. *)
 type t = {
-  mutable queue : entry list; (* FCFS order, oldest first *)
+  mutable front : entry list; (* FCFS order, oldest first *)
+  mutable back : entry list;  (* newest first *)
   mutable next_arrival : int;
+  index : (int * int, entry) Hashtbl.t;
 }
 
-let create () = { queue = []; next_arrival = 0 }
+let create () =
+  { front = []; back = []; next_arrival = 0; index = Hashtbl.create 16 }
+
+let normalize t =
+  if t.back <> [] then begin
+    t.front <- t.front @ List.rev t.back;
+    t.back <- []
+  end;
+  t.front
 
 let request t ~txn ~attempt ~op =
   let entry = { txn; attempt; op; arrival = t.next_arrival; granted = false } in
   t.next_arrival <- t.next_arrival + 1;
-  t.queue <- t.queue @ [ entry ];
+  t.back <- entry :: t.back;
+  (* a transaction may queue several requests here (e.g. read and write of
+     the same copy); the index keeps the oldest, which is the one a release
+     must remove first *)
+  if not (Hashtbl.mem t.index (txn, attempt)) then
+    Hashtbl.add t.index (txn, attempt) entry;
   entry
 
-let grantable earlier entry =
-  List.for_all
-    (fun e -> e.txn = entry.txn || not (Ccdb_model.Op.conflicts e.op entry.op))
-    earlier
-
+(* One pass, oldest first: an entry is grantable when no earlier entry of
+   another transaction conflicts with it.  A read conflicts only with
+   earlier writes, so it is grantable iff every earlier write belongs to
+   its own transaction; a write conflicts with anything earlier, so it is
+   grantable iff every earlier entry does.  "Every earlier X is mine"
+   needs only the unique owner of the X-prefix (when one exists), making
+   the sweep O(n) with O(1) state — no per-transaction table, no O(n^2)
+   rescan of [earlier]. *)
 let grant_ready t =
+  let queue = normalize t in
   let newly = ref [] in
-  let rec scan earlier = function
-    | [] -> ()
-    | e :: rest ->
-      if (not e.granted) && grantable earlier e then begin
+  (* owner of all earlier entries / earlier writes; -1 = none yet,
+     -2 = more than one owner *)
+  let any_owner = ref (-1) and write_owner = ref (-1) in
+  List.iter
+    (fun e ->
+      let grantable =
+        match e.op with
+        | Ccdb_model.Op.Read -> !write_owner = -1 || !write_owner = e.txn
+        | Ccdb_model.Op.Write -> !any_owner = -1 || !any_owner = e.txn
+      in
+      if (not e.granted) && grantable then begin
         e.granted <- true;
         newly := e :: !newly
       end;
-      scan (e :: earlier) rest
-  in
-  scan [] t.queue;
+      if !any_owner = -1 then any_owner := e.txn
+      else if !any_owner <> e.txn then any_owner := -2;
+      if Ccdb_model.Op.equal e.op Ccdb_model.Op.Write then
+        if !write_owner = -1 then write_owner := e.txn
+        else if !write_owner <> e.txn then write_owner := -2)
+    queue;
   List.rev !newly
 
 let release t ~txn ~attempt =
-  let found = ref None in
-  t.queue <-
-    List.filter
-      (fun e ->
-        if e.txn = txn && e.attempt = attempt && !found = None then begin
-          found := Some e;
-          false
-        end
-        else true)
-      t.queue;
-  !found
+  match Hashtbl.find_opt t.index (txn, attempt) with
+  | None -> None
+  | Some entry ->
+    Hashtbl.remove t.index (txn, attempt);
+    (* the index held the oldest same-key entry, so any other one sits
+       later in FCFS order: filtering the normalised queue front-to-back
+       meets the replacement (the new oldest) first *)
+    let replaced = ref false in
+    t.front <-
+      List.filter
+        (fun e ->
+          if e == entry then false
+          else begin
+            if (not !replaced) && e.txn = txn && e.attempt = attempt then begin
+              Hashtbl.add t.index (txn, attempt) e;
+              replaced := true
+            end;
+            true
+          end)
+        (normalize t);
+    Some entry
 
-let entries t = t.queue
+let entries t = normalize t
 
 let waits_for t =
+  let queue = normalize t in
   let edges = ref [] in
   let rec scan earlier = function
     | [] -> ()
@@ -66,10 +111,10 @@ let waits_for t =
           earlier;
       scan (e :: earlier) rest
   in
-  scan [] t.queue;
+  scan [] queue;
   List.rev !edges
 
 let holders t =
   List.filter_map
     (fun e -> if e.granted then Some (e.txn, e.op) else None)
-    t.queue
+    (normalize t)

@@ -14,15 +14,21 @@ type entry = {
   mutable e_value : int option; (* committed value of a prewrite *)
 }
 
+(* The [(txn, op)] index mirrors the pending list: the duplicate-request
+   guard, [commit_write] and [abort] become hash probes instead of scans of
+   every pending entry.  At most one entry per key exists (the guard
+   enforces it), so plain add/remove keeps the two in sync. *)
 type t = {
   thomas_write_rule : bool;
   mutable entries : entry list; (* pending only, sorted by timestamp *)
+  index : (int * Ccdb_model.Op.kind, entry) Hashtbl.t;
   mutable r_ts : int;
   mutable w_ts : int;
 }
 
 let create ?(thomas_write_rule = false) () =
-  { thomas_write_rule; entries = []; r_ts = -1; w_ts = -1 }
+  { thomas_write_rule; entries = []; index = Hashtbl.create 16; r_ts = -1;
+    w_ts = -1 }
 
 let r_ts t = t.r_ts
 let w_ts t = t.w_ts
@@ -35,11 +41,8 @@ let insert_sorted entries e =
   go entries
 
 let request t ~txn ~ts ~op =
-  if
-    List.exists
-      (fun e -> e.e_txn = txn && Ccdb_model.Op.equal e.e_op op)
-      t.entries
-  then invalid_arg "To_queue.request: duplicate request";
+  if Hashtbl.mem t.index (txn, op) then
+    invalid_arg "To_queue.request: duplicate request";
   let verdict =
     match op with
     | Ccdb_model.Op.Read -> if ts <= t.w_ts then Rejected else Accepted
@@ -51,18 +54,21 @@ let request t ~txn ~ts ~op =
   in
   if verdict <> Accepted then verdict
   else begin
-    t.entries <- insert_sorted t.entries { e_txn = txn; e_ts = ts; e_op = op; e_value = None };
+    let e = { e_txn = txn; e_ts = ts; e_op = op; e_value = None } in
+    t.entries <- insert_sorted t.entries e;
+    Hashtbl.add t.index (txn, op) e;
     Accepted
   end
 
 let commit_write t ~txn ~value =
-  List.iter
-    (fun e ->
-      if e.e_txn = txn && Ccdb_model.Op.equal e.e_op Ccdb_model.Op.Write then
-        e.e_value <- Some value)
-    t.entries
+  match Hashtbl.find_opt t.index (txn, Ccdb_model.Op.Write) with
+  | Some e -> e.e_value <- Some value
+  | None -> ()
 
-let abort t ~txn = t.entries <- List.filter (fun e -> e.e_txn <> txn) t.entries
+let abort t ~txn =
+  Hashtbl.remove t.index (txn, Ccdb_model.Op.Read);
+  Hashtbl.remove t.index (txn, Ccdb_model.Op.Write);
+  t.entries <- List.filter (fun e -> e.e_txn <> txn) t.entries
 
 let perform_ready t =
   let performed = ref [] in
@@ -81,6 +87,7 @@ let perform_ready t =
         (match e.e_op with
          | Ccdb_model.Op.Read -> t.r_ts <- max t.r_ts e.e_ts
          | Ccdb_model.Op.Write -> t.w_ts <- max t.w_ts e.e_ts);
+        Hashtbl.remove t.index (e.e_txn, e.e_op);
         performed :=
           { txn = e.e_txn; ts = e.e_ts; op = e.e_op; value = e.e_value }
           :: !performed;

@@ -1,0 +1,258 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------- printing *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number buf x =
+  if not (Float.is_finite x) then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let to_string ?(indent = 2) t =
+  let buf = Buffer.create 1024 in
+  let pad level =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (level * indent) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x -> number buf x
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          go (level + 1) x)
+        xs;
+      pad level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          escape buf k;
+          Buffer.add_string buf (if indent > 0 then ": " else ":");
+          go (level + 1) v)
+        fields;
+      pad level;
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- parsing *)
+
+exception Parse of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          go ()
+        | 'n' ->
+          Buffer.add_char buf '\n';
+          go ()
+        | 'r' ->
+          Buffer.add_char buf '\r';
+          go ()
+        | 't' ->
+          Buffer.add_char buf '\t';
+          go ()
+        | 'b' ->
+          Buffer.add_char buf '\b';
+          go ()
+        | 'f' ->
+          Buffer.add_char buf '\012';
+          go ()
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape"
+          in
+          (* keep it simple: encode the code point as UTF-8 *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          go ()
+        | _ -> fail "unknown escape")
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some x -> Num x
+    | None -> fail ("bad number " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        List (elems [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (fields [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* ------------------------------------------------------------- accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+let to_list = function List xs -> Some xs | _ -> None
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,29 @@
+(** A minimal JSON tree: enough to emit the machine-readable benchmark
+    baseline ([BENCH.json]) and to validate its shape in the test suite,
+    without pulling a JSON library into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Renders with [indent] spaces per level (default 2, [0] for compact).
+    Numbers that are exact integers print without a decimal point; NaN
+    and infinities print as [null] (JSON has no encoding for them). *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser for the subset this module prints
+    (standard JSON minus leading-plus / hex escapes beyond [\uXXXX]).
+    [Error] carries a message with a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] is the value bound to [key]; [None] on a
+    missing key or a non-object. *)
+
+val to_float : t -> float option
+val to_list : t -> t list option
+val to_str : t -> string option

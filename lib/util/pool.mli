@@ -1,0 +1,36 @@
+(** A fixed-size work pool on OCaml 5 domains.
+
+    A pool owns [jobs - 1] worker domains; the submitting domain is the
+    remaining executor, so a pool of [jobs:n] runs at most [n] tasks at
+    once.  With [jobs:1] no domain is ever spawned and every task runs
+    inline on the caller, which makes the single-job path byte-identical
+    to plain [List.map] — the property the deterministic experiment
+    harness is pinned on.
+
+    Tasks must be independent: they may share no mutable state with each
+    other or with the caller beyond what they were built over.  [map] is
+    not reentrant — do not call it from inside a task of the same pool. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val create : jobs:int -> t
+(** Spawns [jobs - 1] worker domains.  @raise Invalid_argument when
+    [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: the result list matches the input
+    order no matter which domain ran which element.  If one or more
+    tasks raise, the exception of the smallest input index is re-raised
+    on the caller after every task of the batch has settled. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool is unusable afterwards;
+    idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exception). *)

@@ -11,4 +11,5 @@ let () =
     @ Test_workload.suites
     @ Test_harness.suites
     @ Test_analysis.suites
-    @ Test_faults.suites)
+    @ Test_faults.suites
+    @ Test_parallel.suites)
