@@ -211,6 +211,68 @@ let bench_lock_table_cycle =
           ignore (Ccdb_protocols.Lock_table.grant_ready t);
           ignore (Ccdb_protocols.Lock_table.release t ~txn ~attempt:0)))
 
+let bench_wal_append =
+  (* one record forced to stable storage; the log is recycled every 4096
+     appends so the measurement never degenerates into allocator pressure
+     from an unbounded log *)
+  Bechamel.Test.make ~name:"wal.append"
+    (Bechamel.Staged.stage
+       (let w = ref (Ccdb_storage.Wal.create ~sites:4) in
+        let counter = ref 0 in
+        fun () ->
+          incr counter;
+          if !counter land 4095 = 0 then w := Ccdb_storage.Wal.create ~sites:4;
+          Ccdb_storage.Wal.append !w ~site:(!counter land 3) ~at:1.
+            (Ccdb_storage.Wal.Grant
+               { txn = !counter; item = 3; op = Ccdb_model.Op.Read;
+                 ts = Some !counter })))
+
+let bench_wal_replay =
+  (* recovery scan of a 512-record site log shaped like a real one: mostly
+     completed admit/grant/release triples, a tail of live grants and one
+     in-doubt 2PC round, so every replay bucket is exercised *)
+  Bechamel.Test.make ~name:"wal.replay-512"
+    (Bechamel.Staged.stage
+       (let w = Ccdb_storage.Wal.create ~sites:1 in
+        let append r = Ccdb_storage.Wal.append w ~site:0 ~at:1. r in
+        let () =
+          for txn = 1 to 160 do
+            append
+              (Ccdb_storage.Wal.Admit
+                 { txn; item = txn mod 24; op = Ccdb_model.Op.Read; ts = txn });
+            append
+              (Ccdb_storage.Wal.Grant
+                 { txn; item = txn mod 24; op = Ccdb_model.Op.Read;
+                   ts = Some txn });
+            append
+              (Ccdb_storage.Wal.Release
+                 { txn; item = txn mod 24; op = Ccdb_model.Op.Read;
+                   aborted = false })
+          done;
+          for txn = 161 to 185 do
+            append
+              (Ccdb_storage.Wal.Grant
+                 { txn; item = txn mod 24; op = Ccdb_model.Op.Write;
+                   ts = None })
+          done;
+          for i = 0 to 2 do
+            append
+              (Ccdb_storage.Wal.Prewrite
+                 { txn = 200; round = 0;
+                   action =
+                     { Ccdb_storage.Wal.item = i; op = Ccdb_model.Op.Write;
+                       value = Some 7; attempt = 0; granted_at = 1. } })
+          done;
+          append (Ccdb_storage.Wal.Vote { txn = 200; round = 0; coordinator = 0 });
+          for txn = 201 to 204 do
+            append
+              (Ccdb_storage.Wal.Coord_commit
+                 { txn; round = 0; participants = [ 0; 1 ] });
+            append (Ccdb_storage.Wal.Coord_end { txn; round = 0 })
+          done
+        in
+        fun () -> ignore (Ccdb_storage.Wal.replay w ~site:0)))
+
 let bench_stl_eval =
   let params =
     { Ccdb_stl.Stl_model.lambda_a = 1.0; lambda_r = 0.04; lambda_w = 0.04;
@@ -275,7 +337,8 @@ let run_micro () =
   let tests =
     Bechamel.Test.make_grouped ~name:"ccdb"
       [ bench_precedence_compare; bench_semi_lock_cycle; bench_lock_table_cycle;
-        bench_stl_eval; bench_conflict_check; bench_heap; bench_end_to_end ]
+        bench_wal_append; bench_wal_replay; bench_stl_eval;
+        bench_conflict_check; bench_heap; bench_end_to_end ]
   in
   let cfg =
     Bechamel.Benchmark.cfg ~limit:2000
@@ -356,7 +419,7 @@ let write_json path ~exp ~micro =
   in
   let doc =
     Obj
-      [ ("schema", Str "ccdb-bench/1");
+      [ ("schema", Str "ccdb-bench/2");
         ("quick", Bool quick);
         ("cores", Num (float_of_int (Domain.recommended_domain_count ())));
         ("jobs", Num (float_of_int jobs));

@@ -296,7 +296,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E11).")
+       ~doc:"Regenerate the paper-reproduction tables (E1-E12).")
     Term.(const run $ quick $ only $ csv_dir $ jobs)
 
 (* --------------------------------------------------------------- faults *)
@@ -418,6 +418,132 @@ let faults_cmd =
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
       $ rto $ max_retries $ no_audit)
 
+(* -------------------------------------------------------------- recover *)
+
+let recover_cmd =
+  let open Cmdliner in
+  let plan_conv =
+    let parse s =
+      match Ccdb_sim.Fault_plan.of_string s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, Ccdb_sim.Fault_plan.pp)
+  in
+  let plan =
+    Arg.(value
+         & opt plan_conv
+             (Ccdb_sim.Fault_plan.make ~seed:11
+                ~crashes:
+                  [ { Ccdb_sim.Fault_plan.site = 1; at = 400.;
+                      recover_at = 700. };
+                    { Ccdb_sim.Fault_plan.site = 2; at = 1200.;
+                      recover_at = 1500. } ]
+                ~wipe:true ())
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:
+               "Fault plan (same grammar as $(b,faults) --plan); \
+                $(b,wipe=true) is forced, so crashes are always fail-stop \
+                here.  Default: two crash windows, reliable links.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Ccdb_harness.Driver.Unified
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"System to run (same values as $(b,run) --mode).")
+  in
+  let lambda =
+    Arg.(value & opt float 0.08 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let txns = Arg.(value & opt int 200 & info [ "txns" ] ~doc:"Transactions.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Sites.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let mix =
+    Arg.(value & opt (list protocol_conv) Ccdb_model.Protocol.all
+         & info [ "mix" ]
+             ~doc:"Protocol mix for the unified mode (even weights).")
+  in
+  let no_audit =
+    Arg.(value & flag
+         & info [ "no-audit" ]
+             ~doc:"Skip the static invariant audit of the traced run.")
+  in
+  let run plan mode lambda txns sites items seed mix no_audit =
+    let plan =
+      (* fail-stop is the point of this command *)
+      Ccdb_sim.Fault_plan.make ~seed:(Ccdb_sim.Fault_plan.seed plan)
+        ~default_link:(Ccdb_sim.Fault_plan.default_link plan)
+        ~links:(Ccdb_sim.Fault_plan.links plan)
+        ~crashes:(Ccdb_sim.Fault_plan.crashes plan) ~wipe:true ()
+    in
+    let spec =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = lambda;
+        protocol_mix = List.map (fun p -> (p, 1.)) mix }
+    in
+    let setup =
+      { Ccdb_harness.Driver.default_setup with
+        sites; items; seed; net = Ccdb_sim.Net.default_config ~sites }
+    in
+    let r =
+      Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
+        ~faults:plan mode spec
+    in
+    let s = r.summary in
+    Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
+    Format.printf "fault plan:      %a@." Ccdb_sim.Fault_plan.pp plan;
+    Format.printf "committed:       %d / %d@." s.committed txns;
+    Format.printf "mean S:          %.2f@." s.mean_system_time;
+    Format.printf "site aborts:     %d@." s.site_aborts;
+    (match s.recovery with
+     | None -> ()
+     | Some rec_ ->
+       Format.printf
+         "durability:      %d WAL appends, %d volatile entries dropped@."
+         rec_.Ccdb_harness.Metrics.wal_appends
+         rec_.Ccdb_harness.Metrics.entries_dropped;
+       Format.printf
+         "recovery:        %d replays (%d interrupted), %d records \
+          replayed, %.1f time units@."
+         rec_.Ccdb_harness.Metrics.replays
+         rec_.Ccdb_harness.Metrics.interrupted
+         rec_.Ccdb_harness.Metrics.records_replayed
+         rec_.Ccdb_harness.Metrics.replay_time;
+       let wal = Ccdb_protocols.Runtime.wal r.runtime in
+       for site = 0 to sites - 1 do
+         Format.printf "  site %d WAL:    %d records@." site
+           (Ccdb_storage.Wal.site_appends wal site)
+       done);
+    Format.printf "serializable:    %b@." s.serializable;
+    Format.printf "replicas ok:     %b@." s.replica_consistent;
+    (match r.audit with
+     | None -> ()
+     | Some report ->
+       Format.printf "audit:           %s@."
+         (Ccdb_analysis.Report.summary report);
+       if not (Ccdb_analysis.Report.is_clean report) then
+         Format.printf "%a@." Ccdb_analysis.Report.pp report);
+    let failed =
+      s.committed <> txns
+      || (match r.audit with
+          | Some report -> Ccdb_analysis.Report.errors report <> []
+          | None -> false)
+    in
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run one simulation with fail-stop crashes (volatile state wiped, \
+          write-ahead logging, presumed-abort 2PC, WAL replay on recovery), \
+          print the durability counters, and audit the trace against the \
+          durability invariants (no lost committed write, no partial \
+          commit, no resurrected lock).  Exits 1 if any transaction fails \
+          to commit or the audit finds an error.")
+    Term.(
+      const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
+      $ no_audit)
+
 (* ---------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
@@ -531,5 +657,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ccdb_cli" ~doc)
-          [ run_cmd; analyze_cmd; experiments_cmd; faults_cmd; sweep_cmd;
-            stl_cmd ]))
+          [ run_cmd; analyze_cmd; experiments_cmd; faults_cmd; recover_cmd;
+            sweep_cmd; stl_cmd ]))

@@ -14,6 +14,9 @@
      (rule 3);
    - strict 2PL: no lock of a committed transaction is granted afterwards,
      and no non-aborted release precedes the commit;
+   - fail-stop crashes: a request dropped in a site wipe is never granted
+     unless the issuer re-requested it after the crash (a "resurrected"
+     lock would mean volatile queue state survived the wipe);
    - no locks survive the end of the trace (and surviving pre-scheduled
      grants were, by definition, never promoted). *)
 
@@ -32,6 +35,8 @@ type state = {
   performed : (int * Ccdb_model.Op.kind * (int * int), unit) Hashtbl.t;
       (* lockless grants, so their releases are not "unmatched" *)
   committed : (int, unit) Hashtbl.t;
+  dropped : (int * (int * int), unit) Hashtbl.t;
+      (* requests lost in a site wipe, cleared by a fresh request *)
   mutable findings : Finding.t list;
 }
 
@@ -46,6 +51,14 @@ let copy_held st copy =
     r
 
 let on_grant st i ~txn ~protocol ~op ~item ~site ~mode ~schedule =
+  (if Hashtbl.mem st.dropped (txn, (item, site)) then
+     add_finding st
+       (Finding.make ~event_index:i ~txns:[ txn ] ~copy:(item, site)
+          ~check:"lock.resurrected"
+          (Printf.sprintf
+             "grant to t%d whose request died in the site %d wipe (no \
+              re-request in between)"
+             txn site)));
   match mode with
   | None -> Hashtbl.replace st.performed (txn, op, (item, site)) ()
   | Some m ->
@@ -206,7 +219,8 @@ let finish st n_events =
 let run (events : Rt.event array) =
   let st =
     { held = Hashtbl.create 64; performed = Hashtbl.create 64;
-      committed = Hashtbl.create 64; findings = [] }
+      committed = Hashtbl.create 64; dropped = Hashtbl.create 16;
+      findings = [] }
   in
   Array.iteri
     (fun i event ->
@@ -222,9 +236,14 @@ let run (events : Rt.event array) =
       | Rt.Ts_updated { txn; item; site; revoked; _ } ->
         on_ts_updated st ~txn ~item ~site ~revoked
       | Rt.Txn_committed { txn; _ } -> Hashtbl.replace st.committed txn.id ()
-      | Rt.Lock_requested _ | Rt.Request_withdrawn _ | Rt.Deadlock_detected _
+      | Rt.Lock_requested { txn; item; site; _ } ->
+        Hashtbl.remove st.dropped (txn, (item, site))
+      | Rt.Request_dropped { txn; item; site; _ } ->
+        Hashtbl.replace st.dropped (txn, (item, site)) ()
+      | Rt.Request_withdrawn _ | Rt.Deadlock_detected _
       | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
-      | Rt.Site_recovered _ -> ())
+      | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
+      | Rt.Prepared _ | Rt.Decision_logged _ -> ())
     events;
   finish st (Array.length events);
   List.rev st.findings

@@ -355,10 +355,15 @@ let run (events : Rt.event array) =
         on_transform st i ~txn ~copy:(item, site)
       | Rt.Request_withdrawn { txn; item; site; _ } ->
         on_withdrawn st ~txn ~copy:(item, site)
+      | Rt.Request_dropped { txn; item; site; _ } ->
+        (* a site wipe removes the ungranted entry exactly like a
+           withdrawal: the issuer must re-request after the crash *)
+        on_withdrawn st ~txn ~copy:(item, site)
       | Rt.Ts_updated { txn; item; site; ts; _ } ->
         on_ts_updated st ~txn ~ts ~copy:(item, site)
       | Rt.Lock_promoted _ | Rt.Deadlock_detected _ | Rt.Txn_committed _
       | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
-      | Rt.Site_recovered _ -> ())
+      | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
+      | Rt.Prepared _ | Rt.Decision_logged _ -> ())
     events;
   List.rev st.findings

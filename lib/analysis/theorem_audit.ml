@@ -9,7 +9,12 @@
      back-off instead) and is never chosen as a deadlock victim.
    - Theorem 2: when the final store is supplied, the per-copy
      implementation logs must be conflict-serializable and the replicas of
-     every item must converge. *)
+     every item must converge.
+   - Durability (fail-stop extension): every committed transaction's write
+     reaches the implementation log of every catalog copy — unless the
+     Thomas Write Rule legally dropped it — even across crashes and WAL
+     replays; and two-phase commit is atomic: no transaction's terminal
+     decision is commit at one site and abort at another. *)
 
 module Rt = Ccdb_protocols.Runtime
 
@@ -33,11 +38,20 @@ let run ?store (events : Rt.event array) =
     | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Two_pl
     | None -> false
   in
+  (* durability bookkeeping *)
+  let committed_txns : (int, Ccdb_model.Txn.t) Hashtbl.t = Hashtbl.create 64 in
+  let twr_dropped : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* terminal 2PC decision per (txn, site): commits are final, an abort may
+     be superseded by a later round's commit *)
+  let last_decision : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
     (fun i event ->
       match event with
-      | Rt.Lock_requested { txn; protocol; _ } ->
-        Hashtbl.replace protocol_of txn protocol
+      | Rt.Lock_requested { txn; protocol; item; site; outcome; _ } ->
+        Hashtbl.replace protocol_of txn protocol;
+        (match outcome with
+         | Rt.Req_ignored -> Hashtbl.replace twr_dropped (txn, item, site) ()
+         | Rt.Req_admitted | Rt.Req_rejected | Rt.Req_backoff _ -> ())
       | Rt.Lock_granted { txn; protocol; _ } ->
         Hashtbl.replace protocol_of txn protocol
       | Rt.Txn_restarted { txn; reason; _ } ->
@@ -57,7 +71,11 @@ let run ?store (events : Rt.event array) =
                    | Rt.Prevention_kill -> "prevention kill"
                    | Rt.Site_failure -> "site failure")))
       | Rt.Txn_committed { txn; _ } ->
-        Hashtbl.replace protocol_of txn.id txn.protocol
+        Hashtbl.replace protocol_of txn.id txn.protocol;
+        Hashtbl.replace committed_txns txn.id txn
+      | Rt.Decision_logged { txn; site; commit; _ } ->
+        if not (Hashtbl.find_opt last_decision (txn, site) = Some true) then
+          Hashtbl.replace last_decision (txn, site) commit
       | Rt.Deadlock_detected { cycle; victim; _ } -> (
         match victim with
         | None ->
@@ -108,8 +126,42 @@ let run ?store (events : Rt.event array) =
               cycle)
       | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
       | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _
-      | Rt.Site_crashed _ | Rt.Site_recovered _ -> ())
+      | Rt.Site_crashed _ | Rt.Site_recovered _ | Rt.Request_dropped _
+      | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _ -> ())
     events;
+  (* 2PC atomicity: a transaction's terminal decisions must agree.  Commits
+     are sticky per (txn, site); an abort only counts as terminal when no
+     later round committed the transaction at that site. *)
+  let decisions_of : (int, (int * bool) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Hashtbl.iter
+    (fun (txn, site) commit ->
+      match Hashtbl.find_opt decisions_of txn with
+      | Some r -> r := (site, commit) :: !r
+      | None -> Hashtbl.add decisions_of txn (ref [ (site, commit) ]))
+    last_decision;
+  Hashtbl.iter
+    (fun txn r ->
+      let committed_at = List.filter_map
+          (fun (s, c) -> if c then Some s else None) !r
+      and aborted_at = List.filter_map
+          (fun (s, c) -> if not c then Some s else None) !r
+      in
+      if committed_at <> [] && aborted_at <> [] then
+        add
+          (Finding.make ~txns:[ txn ] ~check:"thm.partial-commit"
+             (Printf.sprintf
+                "t%d committed at site%s %s but its last decision at site%s \
+                 %s is abort (2PC atomicity violated)"
+                txn
+                (if List.length committed_at > 1 then "s" else "")
+                (String.concat ","
+                   (List.map string_of_int (List.sort compare committed_at)))
+                (if List.length aborted_at > 1 then "s" else "")
+                (String.concat ","
+                   (List.map string_of_int (List.sort compare aborted_at))))))
+    decisions_of;
   (match store with
    | None -> ()
    | Some store ->
@@ -127,5 +179,33 @@ let run ?store (events : Rt.event array) =
        add
          (Finding.make ~check:"thm.replica-divergence"
             "replicas of at least one item diverge (contradicts \
-             read-one/write-all under Theorem 2)"));
+             read-one/write-all under Theorem 2)");
+     (* durability: write-all means every committed write reaches the
+        implementation log of every catalog copy, crashes or not *)
+     let catalog = Ccdb_storage.Store.catalog store in
+     Hashtbl.iter
+       (fun id (txn : Ccdb_model.Txn.t) ->
+         List.iter
+           (fun item ->
+             List.iter
+               (fun site ->
+                 if not (Hashtbl.mem twr_dropped (id, item, site)) then
+                   let implemented =
+                     List.exists
+                       (fun (e : Ccdb_storage.Store.log_entry) ->
+                         e.txn = id
+                         && Ccdb_model.Op.equal e.kind Ccdb_model.Op.Write)
+                       (Ccdb_storage.Store.log store ~item ~site)
+                   in
+                   if not implemented then
+                     add
+                       (Finding.make ~txns:[ id ] ~copy:(item, site)
+                          ~check:"thm.durability-lost"
+                          (Printf.sprintf
+                             "committed write of t%d on item %d is missing \
+                              from site %d's implementation log"
+                             id item site)))
+               (Ccdb_storage.Catalog.copies catalog item))
+           txn.write_set)
+       committed_txns);
   List.rev !findings

@@ -329,6 +329,25 @@ let remove t ~txn ~advance_hwm =
 let release t ~txn = remove t ~txn ~advance_hwm:true
 let abort t ~txn = remove t ~txn ~advance_hwm:false
 
+let wipe_volatile t =
+  (* Ungranted non-PA entries hold no locks and were never promised to
+     their issuer, so they die with the site.  Granted entries (the WAL
+     logged the grant) and every PA entry (the admission or back-off was
+     acknowledged during negotiation — dropping one would stall the
+     negotiation and force a PA restart, violating Corollary 1) survive.
+     No held-mode counter or granted-ts cache changes: dropped entries are
+     all ungranted. *)
+  let dropped, kept =
+    List.partition
+      (fun e ->
+        e.lock = None
+        && not (Ccdb_model.Protocol.equal e.protocol Ccdb_model.Protocol.Pa))
+      t.entries
+  in
+  t.entries <- kept;
+  List.iter (fun e -> Hashtbl.remove t.index e.txn) dropped;
+  dropped
+
 let waits_for t =
   let edges = ref [] in
   let rec scan earlier = function

@@ -110,6 +110,16 @@ val abort : t -> txn:int -> (entry * entry list) option
     operations were never implemented); used for T/O restarts and 2PL
     deadlock victims. *)
 
+val wipe_volatile : t -> entry list
+(** Fail-stop crash: drops and returns every ungranted non-PA entry —
+    volatile state whose admission was never promised to the issuer.
+    Granted entries survive (the write-ahead log vouches for them), and so
+    does every PA entry regardless of grant status: a PA admission or
+    back-off was acknowledged during negotiation, and dropping it would
+    stall the negotiation into a restart, violating Corollary 1's
+    restart-freedom.  High-water marks and held-lock counters are
+    untouched. *)
+
 val waits_for : t -> (int * int) list
 (** Wait-for edges for the deadlock detector: each ungranted entry waits on
     the transactions of earlier-precedence entries that are present and

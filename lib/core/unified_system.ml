@@ -35,6 +35,8 @@ type txn_state = {
   mutable slots : ((int * int) * slot) list;
   mutable reads : (int * int) list;
   mutable write_values : (int * int) list; (* fixed at compute end *)
+  mutable executed : float; (* end of the compute phase; under 2PC the
+                               commit point fires later *)
 }
 
 type detector =
@@ -50,6 +52,8 @@ type t = {
   mutable active : int;
   mutable draining : int;
   mutable detector : detector option;
+  mutable committer : Ccdb_protocols.Commit.t option;
+      (* 2PC driver, durable runtimes only *)
 }
 
 let notify_blocked t txn_id =
@@ -328,26 +332,39 @@ and finish t st =
     (match st.payload with
      | Some f -> f read_value
      | None -> List.map (fun item -> (item, txn.id)) txn.write_set);
-  let executed_at = Rt.now t.rt in
-  let commit () =
-    Rt.emit t.rt
-      (Rt.Txn_committed
-         { txn; submitted_at = st.submitted_at; executed_at;
-           restarts = st.restarts });
-    t.active <- t.active - 1;
-    if t.active = 0 then
-      match t.detector with
-      | Some (Central d) -> Ccdb_protocols.Deadlock.stop d
-      | Some (Probing _) | None -> ()
-  in
+  st.executed <- Rt.now t.rt;
+  let commit () = commit_txn t st in
   let all_normal =
     List.for_all
       (fun (_, s) -> match s with Granted g -> g.normal | _ -> false)
       st.slots
   in
   if all_normal then begin
-    commit ();
-    send_releases t st
+    match t.committer with
+    | Some c ->
+      (* durable: past the lock point, releases wait for the presumed-abort
+         2PC decision at each participant *)
+      st.phase <- Done;
+      let value_for = value_for_fn st in
+      let by_site = ref [] in
+      List.iter
+        (fun (item, site, op) ->
+          let action =
+            { Ccdb_storage.Wal.item; op; value = value_for item; attempt = 0;
+              granted_at = 0. }
+          in
+          match List.assoc_opt site !by_site with
+          | Some r -> r := action :: !r
+          | None -> by_site := (site, ref [ action ]) :: !by_site)
+        (copies_of t.rt txn);
+      let participants =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) !by_site
+        |> List.map (fun (site, r) -> (site, List.rev !r))
+      in
+      Ccdb_protocols.Commit.commit c ~txn:txn.id ~home:txn.site ~participants
+    | None ->
+      commit ();
+      send_releases t st
   end
   else begin
     (* rule 4: transform every lock into a semi-lock, count as executed,
@@ -365,6 +382,17 @@ and finish t st =
       st.slots;
     maybe_release t st
   end
+
+and commit_txn t st =
+  Rt.emit t.rt
+    (Rt.Txn_committed
+       { txn = st.txn; submitted_at = st.submitted_at;
+         executed_at = st.executed; restarts = st.restarts });
+  t.active <- t.active - 1;
+  if t.active = 0 then
+    match t.detector with
+    | Some (Central d) -> Ccdb_protocols.Deadlock.stop d
+    | Some (Probing _) | None -> ()
 
 and value_for_fn st =
   let txn = st.txn in
@@ -417,7 +445,10 @@ and restart t st ~except ~reason =
   st.slots <- [];
   st.reads <- [];
   ignore
-    (Ccdb_sim.Engine.schedule (Rt.engine t.rt) ~after:t.config.restart_delay
+    (Ccdb_sim.Engine.schedule (Rt.engine t.rt)
+       ~after:
+         (Rt.restart_backoff t.rt ~base:t.config.restart_delay
+            ~attempt:st.restarts)
        (fun () -> begin_attempt t st))
 
 and begin_attempt t st =
@@ -565,10 +596,30 @@ let local_waits_on t ~site ~txn =
     t.queues []
   |> List.sort_uniq Int.compare
 
+(* Fail-stop wipe of the unified queues hosted at [site]: ungranted 2PL and
+   T/O entries are volatile and vanish; granted entries and every PA entry
+   survive (WAL-backed grants; acknowledged PA negotiations — Corollary 1). *)
+let on_site_wipe t site =
+  let dropped = ref 0 and preserved = ref 0 in
+  Hashtbl.iter
+    (fun (item, s) q ->
+      if s = site then begin
+        List.iter
+          (fun (e : Q.entry) ->
+            incr dropped;
+            Rt.emit t.rt
+              (Rt.Request_dropped
+                 { txn = e.txn; item; site; at = Rt.now t.rt }))
+          (Q.wipe_volatile q);
+        preserved := !preserved + List.length (Q.entries q)
+      end)
+    t.queues;
+  (!dropped, !preserved)
+
 let create ?(config = default_config) ?reselect rt =
   let t =
     { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
-      reselect; active = 0; draining = 0; detector = None }
+      reselect; active = 0; draining = 0; detector = None; committer = None }
   in
   let detector =
     match config.detection with
@@ -637,6 +688,25 @@ let create ?(config = default_config) ?reselect rt =
   t.detector <- Some detector;
   Rt.on_site_crash rt (fun site -> on_site_crash t site);
   Rt.on_stall rt (fun txn -> on_stall t txn);
+  if Rt.durable rt then begin
+    Rt.on_site_wipe rt (fun site -> on_site_wipe t site);
+    t.committer <-
+      Some
+        (Ccdb_protocols.Commit.create rt
+           { Ccdb_protocols.Commit.apply =
+               (fun ~txn ~site actions ->
+                 List.iter
+                   (fun (a : Ccdb_storage.Wal.action) ->
+                     on_release_msg t (a.item, site) txn a.value)
+                   actions);
+             commit_point =
+               (fun ~txn ->
+                 match Hashtbl.find_opt t.states txn with
+                 | Some st ->
+                   commit_txn t st;
+                   Hashtbl.remove t.states txn
+                 | None -> ()) })
+  end;
   t
 
 let submit t ?payload txn =
@@ -645,7 +715,7 @@ let submit t ?payload txn =
   let st =
     { txn; payload; submitted_at = Rt.now t.rt; ts = None; epoch = 0;
       restarts = 0; backed_off = false; phase = Negotiating; slots = [];
-      reads = []; write_values = [] }
+      reads = []; write_values = []; executed = 0. }
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;

@@ -7,6 +7,7 @@ type setup = {
   net : Ccdb_sim.Net.config;
   seed : int;
   restart_delay : float;
+  restart_cap : float;
   detection : Ccdb_protocols.Deadlock.detection;
   thomas_write_rule : bool;
   prevention : Ccdb_protocols.Two_pl_system.prevention;
@@ -15,7 +16,8 @@ type setup = {
 let default_setup =
   { sites = 4; items = 32; replication = 2;
     net = Ccdb_sim.Net.default_config ~sites:4; seed = 42;
-    restart_delay = 50.; detection = Ccdb_protocols.Deadlock.default_detection;
+    restart_delay = 50.; restart_cap = 800.;
+    detection = Ccdb_protocols.Deadlock.default_detection;
     thomas_write_rule = false;
     prevention = Ccdb_protocols.Two_pl_system.No_prevention }
 
@@ -170,13 +172,16 @@ let build_system ~(setup : setup) mode rt =
       decisions = decisions_of_tally }
 
 let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
-    ?faults ?retry mode spec =
+    ?faults ?retry ?replay_cost mode spec =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
       ~replication:setup.replication
   in
-  let rt = Rt.create ~seed:setup.seed ?faults ?retry ~net_config:net ~catalog () in
+  let rt =
+    Rt.create ~seed:setup.seed ?faults ?retry ?replay_cost
+      ~restart_cap:setup.restart_cap ~net_config:net ~catalog ()
+  in
   (match observer with Some f -> f rt | None -> ());
   let trace = if audit then Some (Trace.attach rt) else None in
   let system = build_system ~setup mode rt in

@@ -10,6 +10,9 @@ type setup = {
   restart_delay : float;
       (** resubmission delay after a T/O rejection or a deadlock abort,
           applied to every system built by {!run} *)
+  restart_cap : float;
+      (** cap on the exponential restart backoff under faults
+          ({!Ccdb_protocols.Runtime.restart_backoff}); inert fault-free *)
   detection : Ccdb_protocols.Deadlock.detection;
       (** deadlock-detection mechanism for the 2PL-capable systems *)
   thomas_write_rule : bool;
@@ -20,7 +23,8 @@ type setup = {
 
 val default_setup : setup
 (** 4 sites, 32 items, replication 2, default network, seed 42,
-    restart_delay 50., centralized detection, Thomas Write Rule off. *)
+    restart_delay 50., restart_cap 800., centralized detection, Thomas
+    Write Rule off. *)
 
 (** Which concurrency-control system executes the workload. *)
 type mode =
@@ -63,6 +67,7 @@ val run :
   ?audit:bool ->
   ?faults:Ccdb_sim.Fault_plan.t ->
   ?retry:Ccdb_sim.Net.retry ->
+  ?replay_cost:float ->
   mode ->
   Ccdb_workload.Generator.spec ->
   result
@@ -74,7 +79,9 @@ val run :
     [faults] installs a fault plan (message loss, duplication, extra delay,
     site crashes — see {!Ccdb_sim.Fault_plan}) with retransmission policy
     [retry]; combine with [~audit:true] to certify that the run stayed
-    serializable under the injected faults.
+    serializable under the injected faults.  [replay_cost] is the simulated
+    time charged per WAL record at recovery (fail-stop plans only; see
+    {!Ccdb_sim.Recovery}).
     @raise Failure if the run livelocks (event budget exhausted). *)
 
 val run_replicated :

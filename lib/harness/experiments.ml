@@ -1193,14 +1193,94 @@ let e11_staged ~quick =
 
 let e11_fault_sweep ?(quick = false) () = run_one (e11_staged ~quick)
 
+(* ---------------------------------------------------------------- E12 -- *)
+
+let e12_staged ~quick =
+  let n = n_for quick 300 in
+  let spec =
+    { base_spec with
+      arrival_rate = 0.08;
+      protocol_mix =
+        [ (Ccdb_model.Protocol.Two_pl, 1.); (Ccdb_model.Protocol.T_o, 1.);
+          (Ccdb_model.Protocol.Pa, 1.) ] }
+  in
+  (* every row is fail-stop ([wipe=true]); the sweep varies only how many
+     crash windows the run suffers.  Crashes rotate over the non-home sites
+     and are spaced out so each recovery completes before the next outage. *)
+  let counts = if quick then [ 0; 2 ] else [ 0; 1; 2; 4 ] in
+  let point count () =
+    let crashes =
+      List.init count (fun i ->
+          let at = 300. +. (float_of_int i *. 400.) in
+          { Ccdb_sim.Fault_plan.site = 1 + (i mod (base_setup.sites - 1));
+            at; recover_at = at +. 250. })
+    in
+    let faults =
+      Ccdb_sim.Fault_plan.make ~seed:13 ~wipe:true
+        ~default_link:{ Ccdb_sim.Fault_plan.reliable_link with drop = 0.02 }
+        ~crashes ()
+    in
+    let r = D.run ~setup:base_setup ~n_txns:n ~faults D.Unified spec in
+    (count, r.D.summary)
+  in
+  let assemble rows =
+    let table =
+      T.create
+        ~columns:
+          [ ("crashes", T.Right); ("throughput", T.Right); ("S", T.Right);
+            ("site-aborts", T.Right); ("dropped", T.Right);
+            ("WAL appends", T.Right); ("replayed", T.Right);
+            ("replay time", T.Right) ]
+    in
+    let all_committed = ref true in
+    List.iter
+      (fun (count, (s : Metrics.summary)) ->
+        if s.committed <> n then all_committed := false;
+        let r =
+          match s.Metrics.recovery with
+          | Some r -> r
+          | None -> failwith "E12: wipe=true run reported no recovery counters"
+        in
+        T.add_row table
+          [ string_of_int count; f ~decimals:4 s.throughput;
+            f s.mean_system_time; string_of_int s.site_aborts;
+            string_of_int r.Metrics.entries_dropped;
+            string_of_int r.Metrics.wal_appends;
+            string_of_int r.Metrics.records_replayed;
+            f ~decimals:1 r.Metrics.replay_time ])
+      rows;
+    { id = "E12";
+      title = "Crash frequency vs recovery cost (fail-stop, WAL recovery)";
+      claim =
+        "fail-stop crashes cost only the volatile requests in flight: each \
+         recovery replays the site's write-ahead log (time proportional to \
+         its length), every promised lock and 2PC vote survives, and no \
+         committed write is lost — throughput degrades smoothly with crash \
+         frequency instead of collapsing (DESIGN.md section 11)";
+      table;
+      notes =
+        [ (if !all_committed then
+             "measured: every submitted transaction commits at every crash \
+              frequency — aborted attempts restart and finish after recovery"
+           else "measured: some transactions never committed — inspect rows");
+          "the 0-crash row prices pure WAL overhead: appends accrue, nothing \
+           is ever dropped or replayed";
+          "durability invariants (no lost committed write, no partial commit, \
+           no resurrected lock) are audited on fail-stop schedules by \
+           test/test_recovery.ml" ] }
+  in
+  Staged { points = List.map point counts; assemble }
+
+let e12_crash_recovery ?(quick = false) () = run_one (e12_staged ~quick)
+
 (* --------------------------------------------------------------- all --- *)
 
 let staged ?(quick = false) () =
   [ e1_staged ~quick; e2_staged ~quick; e3_staged ~quick; e4_staged ~quick;
     e5_staged ~quick; e6_staged ~quick; e7_staged ~quick; e8_staged ~quick;
-    e9_staged ~quick; e10_staged ~quick; e11_staged ~quick; x1_staged ~quick;
-    x2_staged ~quick; x3_staged ~quick; x4_staged ~quick; x5_staged ~quick;
-    x6_staged ~quick; x7_staged ~quick ]
+    e9_staged ~quick; e10_staged ~quick; e11_staged ~quick;
+    e12_staged ~quick; x1_staged ~quick; x2_staged ~quick; x3_staged ~quick;
+    x4_staged ~quick; x5_staged ~quick; x6_staged ~quick; x7_staged ~quick ]
 
 let serial_runner tasks = List.iter (fun f -> f ()) tasks
 

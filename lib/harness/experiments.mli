@@ -7,7 +7,7 @@
     inside the test suite; the benchmark binary runs full size. *)
 
 type outcome = {
-  id : string;                 (** "E1" ... "E11", "X1" ... *)
+  id : string;                 (** "E1" ... "E12", "X1" ... *)
   title : string;
   claim : string;              (** the paper's claim, quoted/paraphrased *)
   table : Ccdb_util.Table.t;
@@ -48,6 +48,11 @@ val e10_preservation : ?quick:bool -> unit -> outcome
 val e11_fault_sweep : ?quick:bool -> unit -> outcome
 (** Message-loss sweep under a fixed two-crash schedule: throughput, S and
     crash-triggered aborts vs loss rate (DESIGN.md section 9). *)
+
+val e12_crash_recovery : ?quick:bool -> unit -> outcome
+(** Fail-stop crash-frequency sweep: WAL append volume, wipe drops, replay
+    counts and replay time vs number of crash windows (DESIGN.md
+    section 11). *)
 
 (** {2 Extension experiments}
 
@@ -92,7 +97,7 @@ type staged
 (** One experiment, decomposed but not yet run. *)
 
 val staged : ?quick:bool -> unit -> staged list
-(** Every experiment in order (E1-E11 then X1-X7), decomposed. *)
+(** Every experiment in order (E1-E12 then X1-X7), decomposed. *)
 
 val points_count : staged -> int
 (** Number of independent points the experiment fans out. *)
@@ -107,7 +112,7 @@ val run_one : staged -> outcome
 (** Runs the points serially, in order, and assembles. *)
 
 val all : ?quick:bool -> ?runner:((unit -> unit) list -> unit) -> unit -> outcome list
-(** Every experiment in order (E1-E11 then X1-X7).  [runner] receives the
+(** Every experiment in order (E1-E12 then X1-X7).  [runner] receives the
     flattened point tasks of all experiments and must run each exactly once
     (default: serially, in order); outcomes are assembled in experiment
     order afterwards regardless of how the runner scheduled the tasks. *)

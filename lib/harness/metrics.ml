@@ -1,5 +1,14 @@
 module Rt = Ccdb_protocols.Runtime
 
+type recovery = {
+  wal_appends : int;
+  entries_dropped : int;
+  replays : int;
+  interrupted : int;
+  records_replayed : int;
+  replay_time : float;
+}
+
 type summary = {
   committed : int;
   duration : float;
@@ -17,6 +26,7 @@ type summary = {
   replica_consistent : bool;
   site_aborts : int;
   transport : Ccdb_sim.Net.fault_stats option;
+  recovery : recovery option;
 }
 
 let system_time_stats rt =
@@ -74,7 +84,18 @@ let summarize rt =
     serializable = Ccdb_serial.Check.conflict_serializable logs;
     replica_consistent = Ccdb_serial.Check.replica_consistent (Rt.store rt);
     site_aborts = counters.site_aborts;
-    transport = Ccdb_sim.Net.fault_stats (Rt.net rt) }
+    transport = Ccdb_sim.Net.fault_stats (Rt.net rt);
+    recovery =
+      (match Rt.recovery_stats rt with
+       | None -> None
+       | Some (s : Ccdb_sim.Recovery.stats) ->
+         Some
+           { wal_appends = Ccdb_storage.Wal.appends (Rt.wal rt);
+             entries_dropped = counters.wiped_entries;
+             replays = s.replays;
+             interrupted = s.interrupted;
+             records_replayed = s.records_replayed;
+             replay_time = s.replay_time }) }
 
 type window = {
   w_start : float;

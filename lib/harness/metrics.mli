@@ -1,5 +1,15 @@
 (** Run-level metrics computed from a finished runtime. *)
 
+type recovery = {
+  wal_appends : int;       (** records forced to stable storage, all sites *)
+  entries_dropped : int;   (** volatile queue entries erased by wipes *)
+  replays : int;           (** recovery replays performed *)
+  interrupted : int;       (** crashes landing inside a replay window *)
+  records_replayed : int;  (** stable-log records scanned by replays *)
+  replay_time : float;     (** simulated time charged to replays *)
+}
+(** Durability counters of a fail-stop run (fault plan with [wipe=true]). *)
+
 type summary = {
   committed : int;
   duration : float;          (** time of the last commit *)
@@ -19,6 +29,9 @@ type summary = {
   transport : Ccdb_sim.Net.fault_stats option;
       (** transport-level counters of a fault-injected run ([None] without
           a fault plan) *)
+  recovery : recovery option;
+      (** WAL/recovery counters of a durable run ([None] unless the fault
+          plan says [wipe=true]) *)
 }
 
 val summarize : Ccdb_protocols.Runtime.t -> summary

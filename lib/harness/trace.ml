@@ -100,6 +100,25 @@ let pp_event ppf (e : Rt.event) =
     Format.fprintf ppf "%8.1f  crash    site s%d down" at site
   | Rt.Site_recovered { site; at } ->
     Format.fprintf ppf "%8.1f  recover  site s%d up" at site
+  | Rt.Request_dropped { txn; item; site; at } ->
+    Format.fprintf ppf "%8.1f  dropped  t%d (item%d@@s%d) lost in wipe" at txn
+      item site
+  | Rt.Site_wiped { site; dropped; preserved; at } ->
+    Format.fprintf ppf
+      "%8.1f  wipe     site s%d volatile state gone (%d dropped, %d held by \
+       WAL)"
+      at site dropped preserved
+  | Rt.Wal_replayed { site; records; reacquired; in_doubt; at } ->
+    Format.fprintf ppf
+      "%8.1f  replay   site s%d %d records (%d locks reacquired, %d in-doubt)"
+      at site records reacquired in_doubt
+  | Rt.Prepared { txn; site; round; at } ->
+    Format.fprintf ppf "%8.1f  prepared t%d@@s%d round %d voted yes" at txn
+      site round
+  | Rt.Decision_logged { txn; site; round; commit; at } ->
+    Format.fprintf ppf "%8.1f  decide   t%d@@s%d round %d -> %s" at txn site
+      round
+      (if commit then "commit" else "abort")
 
 let render ?limit t =
   (* [events] is newest-first, so the [limit] most recent are its prefix:

@@ -95,6 +95,19 @@ let release t ~txn ~attempt =
         (normalize t);
     Some entry
 
+let wipe_waiting t =
+  let queue = normalize t in
+  let kept, dropped = List.partition (fun e -> e.granted) queue in
+  t.front <- kept;
+  (* rebuild the index over the survivors: oldest same-key entry wins *)
+  Hashtbl.reset t.index;
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem t.index (e.txn, e.attempt)) then
+        Hashtbl.add t.index (e.txn, e.attempt) e)
+    kept;
+  dropped
+
 let entries t = normalize t
 
 let waits_for t =

@@ -29,6 +29,11 @@ val release : t -> txn:int -> attempt:int -> entry option
 (** Removes the transaction's entry (granted or not); [None] if absent or
     the attempt does not match (a stale message). *)
 
+val wipe_waiting : t -> entry list
+(** Fail-stop crash: drops every ungranted request (volatile — never
+    promised to its issuer) and returns them, queue order.  Granted entries
+    survive; the write-ahead log vouches for them. *)
+
 val entries : t -> entry list
 (** Current queue, FCFS order. *)
 

@@ -80,6 +80,11 @@ let abort t ~txn =
     List.filter (fun v -> not (v.v_txn = txn && not v.v_committed)) t.versions;
   t.parked <- List.filter (fun p -> p.p_txn <> txn) t.parked
 
+let wipe_parked t =
+  let dropped = List.rev t.parked in
+  t.parked <- [];
+  List.map (fun p -> p.p_txn) dropped
+
 let drain_reads t =
   let ready, still =
     List.partition_map

@@ -44,6 +44,13 @@ val abort : t -> txn:int -> unit
 (** Withdraws the transaction's uncommitted version and unparks any reads
     that were waiting on it; also forgets parked reads of the transaction. *)
 
+val wipe_parked : t -> int list
+(** Fail-stop crash: forgets every parked read (volatile — the issuer never
+    got an answer) and returns the owning transaction ids in park order.
+    The version chain, including uncommitted prewrites and the per-version
+    read floors, survives: prewrite admissions were acknowledged
+    (force-logged), and dropping one would hang its transaction's commit. *)
+
 val drain_reads : t -> (int * int * int) list
 (** Parked reads that became answerable: [(txn, ts, value)], in timestamp
     order.  Call after {!commit_write} or {!abort}. *)

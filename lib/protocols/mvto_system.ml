@@ -204,7 +204,9 @@ and restart t st ~except ~reason =
   st.awaiting <- [];
   ignore
     (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
-       ~after:t.config.restart_delay (fun () -> begin_attempt t st))
+       ~after:
+         (Runtime.restart_backoff t.rt ~base:t.config.restart_delay
+            ~attempt:st.restarts) (fun () -> begin_attempt t st))
 
 and begin_attempt t st =
   let txn = st.txn in
@@ -256,6 +258,27 @@ let on_stall t txn_id =
     restart t st ~except:None ~reason:Runtime.Site_failure
   | Some _ | None -> ()
 
+(* Fail-stop wipe: parked reads are volatile (the issuer never got an
+   answer) and vanish; the version chain — committed history, uncommitted
+   prewrites and read floors — is WAL-backed and survives. *)
+let on_site_wipe t site =
+  (* MVTO emits no request events (reads are never rejected), so the
+     dropped parked reads are only counted, not per-request announced:
+     the replay audits key drop markers to [Lock_requested] events. *)
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun (_, s) q ->
+      if s = site then
+        dropped := !dropped + List.length (Mvto_queue.wipe_parked q))
+    t.queues;
+  let preserved =
+    Hashtbl.fold
+      (fun (_, s) q n ->
+        if s = site then n + List.length (Mvto_queue.versions q) - 1 else n)
+      t.queues 0
+  in
+  (!dropped, preserved)
+
 let create ?(config = default_config) rt =
   let t =
     { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
@@ -263,6 +286,8 @@ let create ?(config = default_config) rt =
   in
   Runtime.on_site_crash rt (fun site -> on_site_crash t site);
   Runtime.on_stall rt (fun txn -> on_stall t txn);
+  if Runtime.durable rt then
+    Runtime.on_site_wipe rt (fun site -> on_site_wipe t site);
   t
 
 let submit t txn =

@@ -17,6 +17,7 @@ type txn_state = {
   mutable phase : phase;
   mutable slots : ((int * int) * slot) list;
   mutable reads : (int * int) list;
+  mutable executed : float;
 }
 
 type t = {
@@ -25,6 +26,7 @@ type t = {
   queues : (int * int, Pa_queue.t) Hashtbl.t;
   states : (int, txn_state) Hashtbl.t;
   mutable active : int;
+  mutable committer : Commit.t option; (* 2PC driver, durable runtimes only *)
 }
 
 let copies_of rt (txn : Ccdb_model.Txn.t) =
@@ -166,21 +168,50 @@ and finish t st =
     match List.assoc_opt item writes with Some v -> v | None -> txn.id
   in
   st.phase <- Done;
-  let executed_at = Runtime.now t.rt in
-  List.iter
-    (fun (item, site, op) ->
-      let wvalue =
-        match op with
-        | Ccdb_model.Op.Write -> Some (value_for item)
-        | Ccdb_model.Op.Read -> None
-      in
-      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
-        ~kind:"pa-release" (fun () -> on_release t (item, site) txn.id op wvalue))
-    (copies_of t.rt txn);
+  st.executed <- Runtime.now t.rt;
+  match t.committer with
+  | Some c ->
+    (* durable: releases wait for the presumed-abort 2PC decision *)
+    let by_site = ref [] in
+    List.iter
+      (fun (item, site, op) ->
+        let value =
+          match op with
+          | Ccdb_model.Op.Write -> Some (value_for item)
+          | Ccdb_model.Op.Read -> None
+        in
+        let action =
+          { Ccdb_storage.Wal.item; op; value; attempt = 0; granted_at = 0. }
+        in
+        match List.assoc_opt site !by_site with
+        | Some r -> r := action :: !r
+        | None -> by_site := (site, ref [ action ]) :: !by_site)
+      (copies_of t.rt txn);
+    let participants =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) !by_site
+      |> List.map (fun (site, r) -> (site, List.rev !r))
+    in
+    Commit.commit c ~txn:txn.id ~home:txn.site ~participants
+  | None ->
+    List.iter
+      (fun (item, site, op) ->
+        let wvalue =
+          match op with
+          | Ccdb_model.Op.Write -> Some (value_for item)
+          | Ccdb_model.Op.Read -> None
+        in
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"pa-release" (fun () ->
+            on_release t (item, site) txn.id op wvalue))
+      (copies_of t.rt txn);
+    commit_txn t st
+
+and commit_txn t st =
   Runtime.emit t.rt
     (Runtime.Txn_committed
-       { txn; submitted_at = st.submitted_at; executed_at; restarts = 0 });
-  Hashtbl.remove t.states txn.id;
+       { txn = st.txn; submitted_at = st.submitted_at;
+         executed_at = st.executed; restarts = 0 });
+  Hashtbl.remove t.states st.txn.id;
   t.active <- t.active - 1
 
 and on_release t ((item, site) as copy) txn_id op wvalue =
@@ -214,7 +245,7 @@ let submit t ?payload txn =
     { txn; payload; submitted_at = Runtime.now t.rt; ts; backed_off = false;
       phase = Negotiating;
       slots = List.map (fun (item, site, _) -> ((item, site), Waiting)) copies;
-      reads = [] }
+      reads = []; executed = 0. }
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;
@@ -247,7 +278,37 @@ let submit t ?payload txn =
     copies
 
 let create ?(config = default_config) rt =
-  { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
-    active = 0 }
+  let t =
+    { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
+      active = 0; committer = None }
+  in
+  if Runtime.durable rt then begin
+    (* Fail-stop wipe: every PA entry survives — admissions and back-offs
+       were acknowledged during negotiation (Corollary 1 forbids dropping
+       them into a restart) — so the wipe only reports preserved counts. *)
+    Runtime.on_site_wipe rt (fun site ->
+        let preserved =
+          Hashtbl.fold
+            (fun (_, s) q n ->
+              if s = site then n + List.length (Pa_queue.entries q) else n)
+            t.queues 0
+        in
+        (0, preserved));
+    t.committer <-
+      Some
+        (Commit.create rt
+           { Commit.apply =
+               (fun ~txn ~site actions ->
+                 List.iter
+                   (fun (a : Ccdb_storage.Wal.action) ->
+                     on_release t (a.item, site) txn a.op a.value)
+                   actions);
+             commit_point =
+               (fun ~txn ->
+                 match Hashtbl.find_opt t.states txn with
+                 | Some st -> commit_txn t st
+                 | None -> ()) })
+  end;
+  t
 
 let active t = t.active

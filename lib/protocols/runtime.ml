@@ -106,6 +106,43 @@ type event =
   | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
   | Site_crashed of { site : int; at : float }
   | Site_recovered of { site : int; at : float }
+  | Request_dropped of {
+      (* fail-stop wipe erased a volatile (never-promised) queue entry *)
+      txn : int;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Site_wiped of {
+      (* summary of one fail-stop wipe: entries erased vs kept via the WAL *)
+      site : int;
+      dropped : int;
+      preserved : int;
+      at : float;
+    }
+  | Wal_replayed of {
+      (* recovery scanned the site's stable log before rejoining *)
+      site : int;
+      records : int;
+      reacquired : int;         (* live grants/semi-locks restored *)
+      in_doubt : int;           (* voted 2PC rounds awaiting a decision *)
+      at : float;
+    }
+  | Prepared of {
+      (* 2PC participant force-logged its prewrites and voted yes *)
+      txn : int;
+      site : int;
+      round : int;
+      at : float;
+    }
+  | Decision_logged of {
+      (* 2PC participant learned and force-logged the round's outcome *)
+      txn : int;
+      site : int;
+      round : int;
+      commit : bool;
+      at : float;
+    }
 
 type completion = {
   txn : Ccdb_model.Txn.t;
@@ -122,6 +159,7 @@ type counters = {
   mutable prevention_aborts : int;
   mutable backoffs : int;
   mutable site_aborts : int;
+  mutable wiped_entries : int;
 }
 
 type t = {
@@ -139,6 +177,15 @@ type t = {
   last_activity : (int, float) Hashtbl.t; (* tracked in-flight txns *)
   mutable stall_handlers : (int -> unit) list; (* newest first *)
   mutable watchdog_on : bool;
+  (* --- durability (active only when the fault plan says wipe=true) ------ *)
+  durable : bool;
+  wal : Ccdb_storage.Wal.t;
+  mutable recovery : Ccdb_sim.Recovery.t option;
+  mutable wipe_handlers : (int -> int * int) list;  (* newest first *)
+  mutable replay_handlers : (int -> unit) list;     (* newest first *)
+  (* --- restart backoff (jittered only under an installed fault plan) ---- *)
+  restart_cap : float;
+  restart_rng : Ccdb_util.Rng.t option;
 }
 
 let engine t = t.engine
@@ -150,6 +197,9 @@ let ts_source t = t.ts_source
 let now t = Ccdb_sim.Engine.now t.engine
 
 let faults_enabled t = Option.is_some (Ccdb_sim.Net.fault_plan t.net)
+let durable t = t.durable
+let wal t = t.wal
+let recovery_stats t = Option.map Ccdb_sim.Recovery.stats t.recovery
 
 let subscribe t f = t.listeners <- f :: t.listeners
 
@@ -160,7 +210,31 @@ let touch t txn =
   if Hashtbl.mem t.last_activity txn then
     Hashtbl.replace t.last_activity txn (now t)
 
+(* Lock-point events double as redo/undo records: under a durable plan every
+   grant, release, admission and PA revocation is forced to the site's WAL at
+   the instant it is emitted — before any acknowledgement leaves the site
+   (messages are sent after the emitting call returns, within the same atomic
+   event, so the log write strictly precedes the ack on the simulated wire). *)
+let wal_log t event =
+  match event with
+  | Lock_granted { txn; op; item; site; ts; at; _ } ->
+    Ccdb_storage.Wal.append t.wal ~site ~at
+      (Ccdb_storage.Wal.Grant { txn; item; op; ts })
+  | Lock_released { txn; op; item; site; at; aborted; _ } ->
+    Ccdb_storage.Wal.append t.wal ~site ~at
+      (Ccdb_storage.Wal.Release { txn; item; op; aborted })
+  | Lock_requested
+      { txn; op; item; site; ts = Some ts;
+        outcome = Req_admitted | Req_backoff _; at; _ } ->
+    Ccdb_storage.Wal.append t.wal ~site ~at
+      (Ccdb_storage.Wal.Admit { txn; item; op; ts })
+  | Ts_updated { txn; item; site; revoked = true; at; _ } ->
+    Ccdb_storage.Wal.append t.wal ~site ~at
+      (Ccdb_storage.Wal.Revoke { txn; item })
+  | _ -> ()
+
 let emit t event =
+  if t.durable then wal_log t event;
   (match event with
    | Txn_committed { txn; submitted_at; executed_at; restarts } ->
      t.counters.committed <- t.counters.committed + 1;
@@ -184,8 +258,12 @@ let emit t event =
    | Lock_requested { txn; _ } | Lock_granted { txn; _ }
    | Lock_promoted { txn; _ } | Lock_transformed { txn; _ }
    | Lock_released { txn; _ } | Request_withdrawn { txn; _ }
-   | Ts_updated { txn; _ } -> touch t txn
-   | Deadlock_detected _ | Site_crashed _ | Site_recovered _ -> ());
+   | Ts_updated { txn; _ } | Prepared { txn; _ }
+   | Decision_logged { txn; _ } -> touch t txn
+   | Site_wiped { dropped; _ } ->
+     t.counters.wiped_entries <- t.counters.wiped_entries + dropped
+   | Deadlock_detected _ | Site_crashed _ | Site_recovered _
+   | Request_dropped _ | Wal_replayed _ -> ());
   List.iter (fun f -> f event) t.listeners
 
 (* The watchdog sweeps tracked transactions every [stall_timeout / 2] and
@@ -232,12 +310,32 @@ let on_stall t f = t.stall_handlers <- f :: t.stall_handlers
 let on_site_crash t f = Ccdb_sim.Net.on_crash t.net f
 let on_site_recover t f = Ccdb_sim.Net.on_recover t.net f
 
-let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.) ~net_config
-    ~catalog () =
+let on_site_wipe t f = t.wipe_handlers <- f :: t.wipe_handlers
+let on_wal_replay t f = t.replay_handlers <- f :: t.replay_handlers
+
+(* Resubmission delay for the [attempt]-th restart of a transaction: plain
+   [base] on a fault-free run (pinned by the byte-identity tests), capped
+   exponential backoff with seeded jitter in [base/2, base) units of the
+   doubled delay under faults, so crash-abort restart storms desynchronize
+   instead of hammering the recovering site in lockstep. *)
+let restart_backoff t ~base ~attempt =
+  match t.restart_rng with
+  | None -> base
+  | Some rng ->
+    if base <= 0. then base
+    else
+      let doubled = base *. (2. ** float_of_int (min attempt 16)) in
+      let capped = Float.min t.restart_cap doubled in
+      capped *. Ccdb_util.Rng.uniform_in rng ~lo:0.5 ~hi:1.0
+
+let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.)
+    ?(restart_cap = 800.) ?replay_cost ~net_config ~catalog () =
   if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
     invalid_arg "Runtime.create: catalog/network site count mismatch";
   if stall_timeout <= 0. then
     invalid_arg "Runtime.create: stall_timeout must be positive";
+  if restart_cap <= 0. then
+    invalid_arg "Runtime.create: restart_cap must be positive";
   let rng = Ccdb_util.Rng.create ~seed in
   let engine = Ccdb_sim.Engine.create () in
   let net_rng = Ccdb_util.Rng.split rng in
@@ -251,13 +349,28 @@ let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.) ~net_config
       ts_source = Ccdb_model.Timestamp.Source.create ();
       counters =
         { committed = 0; restarts = 0; rejections = 0; deadlock_aborts = 0;
-          prevention_aborts = 0; backoffs = 0; site_aborts = 0 };
+          prevention_aborts = 0; backoffs = 0; site_aborts = 0;
+          wiped_entries = 0 };
       completions = [];
       listeners = [];
       stall_timeout;
       last_activity = Hashtbl.create 64;
       stall_handlers = [];
-      watchdog_on = false }
+      watchdog_on = false;
+      durable =
+        (match faults with
+         | Some plan -> Ccdb_sim.Fault_plan.wipe plan
+         | None -> false);
+      wal =
+        Ccdb_storage.Wal.create ~sites:(Ccdb_storage.Catalog.sites catalog);
+      recovery = None;
+      wipe_handlers = [];
+      replay_handlers = [];
+      restart_cap;
+      restart_rng =
+        (match faults with
+         | Some _ -> Some (Ccdb_util.Rng.split rng)
+         | None -> None) }
   in
   (match faults with
    | None -> ()
@@ -268,7 +381,38 @@ let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.) ~net_config
      Ccdb_sim.Net.on_crash t.net (fun site ->
          emit t (Site_crashed { site; at = now t }));
      Ccdb_sim.Net.on_recover t.net (fun site ->
-         emit t (Site_recovered { site; at = now t })));
+         emit t (Site_recovered { site; at = now t }));
+     if t.durable then
+       (* between the Site_crashed emitter above and the systems' own crash
+          handlers (registered later, in each system's [create]): wipes run
+          after the crash is recorded, and the restart logic sees the
+          post-wipe queues *)
+       t.recovery <-
+         Some
+           (Ccdb_sim.Recovery.create ~net:t.net ~engine ?replay_cost
+              ~records:(fun site -> Ccdb_storage.Wal.site_appends t.wal site)
+              ~on_wipe:(fun site ->
+                  let dropped = ref 0 and preserved = ref 0 in
+                  List.iter
+                    (fun f ->
+                       let d, p = f site in
+                       dropped := !dropped + d;
+                       preserved := !preserved + p)
+                    (List.rev t.wipe_handlers);
+                  emit t
+                    (Site_wiped
+                       { site; dropped = !dropped; preserved = !preserved;
+                         at = now t }))
+              ~on_replay:(fun site ~records ->
+                  let r = Ccdb_storage.Wal.replay t.wal ~site in
+                  emit t
+                    (Wal_replayed
+                       { site; records;
+                         reacquired = r.Ccdb_storage.Wal.live_grants;
+                         in_doubt = List.length r.Ccdb_storage.Wal.in_doubt;
+                         at = now t });
+                  List.iter (fun f -> f site) (List.rev t.replay_handlers))
+              ()));
   t
 
 let counters t = t.counters

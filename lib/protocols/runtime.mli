@@ -121,9 +121,32 @@ type event =
   | Pa_backoff of { txn : int; op : Ccdb_model.Op.kind; at : float }
       (** a PA request received a back-off timestamp *)
   | Site_crashed of { site : int; at : float }
-      (** fault injection: the site entered a fail-pause crash window *)
+      (** fault injection: the site entered a crash window *)
   | Site_recovered of { site : int; at : float }
       (** fault injection: the site's crash window ended *)
+  | Request_dropped of { txn : int; item : int; site : int; at : float }
+      (** fail-stop wipe erased this volatile queue entry — a request whose
+          admission was never promised to the issuer (never granted, not
+          force-logged); the issuer is restarted by the crash handlers *)
+  | Site_wiped of { site : int; dropped : int; preserved : int; at : float }
+      (** summary of one fail-stop wipe: [dropped] volatile entries erased,
+          [preserved] entries kept because the WAL had promised them *)
+  | Wal_replayed of {
+      site : int;
+      records : int;    (** stable-log records scanned *)
+      reacquired : int; (** live grants/semi-locks restored *)
+      in_doubt : int;   (** voted 2PC rounds awaiting a decision *)
+      at : float;
+    }  (** recovery replayed the site's write-ahead log before rejoining *)
+  | Prepared of { txn : int; site : int; round : int; at : float }
+      (** 2PC participant force-logged its prewrites and voted yes *)
+  | Decision_logged of {
+      txn : int;
+      site : int;
+      round : int;
+      commit : bool;
+      at : float;
+    }  (** 2PC participant learned and force-logged the round's outcome *)
 
 type completion = {
   txn : Ccdb_model.Txn.t;
@@ -142,6 +165,9 @@ type counters = {
       (** wound-wait / wait-die kills (see {!Two_pl_system.prevention}) *)
   mutable backoffs : int;    (** PA per-request back-off events *)
   mutable site_aborts : int; (** [Site_failure] restarts (crash cleanup) *)
+  mutable wiped_entries : int;
+      (** volatile queue entries erased by fail-stop wipes (sum of the
+          [dropped] counts over all {!event.Site_wiped} events) *)
 }
 
 type t
@@ -151,6 +177,8 @@ val create :
   ?faults:Ccdb_sim.Fault_plan.t ->
   ?retry:Ccdb_sim.Net.retry ->
   ?stall_timeout:float ->
+  ?restart_cap:float ->
+  ?replay_cost:float ->
   net_config:Ccdb_sim.Net.config ->
   catalog:Ccdb_storage.Catalog.t ->
   unit ->
@@ -163,9 +191,17 @@ val create :
     [stall_timeout] (default 1500.) simulated time units are handed to the
     {!on_stall} handlers.  Without [faults] the watchdog is inert and the
     network is the fault-free one.
+
+    If the plan additionally says [wipe=true] the runtime is {e durable}:
+    lock-point events are forced to the per-site {!Ccdb_storage.Wal} as they
+    are emitted, crashes wipe the volatile queue state registered with
+    {!on_site_wipe}, and each recovery replays the site's log
+    ({!Ccdb_sim.Recovery}, with per-record cost [replay_cost]) before the
+    {!on_wal_replay} handlers rebuild 2PC state.  [restart_cap] (default
+    800.) bounds the exponential restart backoff of {!restart_backoff}.
     @raise Invalid_argument if the catalog's site count differs from the
-    network's, if [stall_timeout <= 0.], or if the plan is rejected by
-    {!Ccdb_sim.Net.install_faults}. *)
+    network's, if [stall_timeout <= 0.] or [restart_cap <= 0.], or if the
+    plan is rejected by {!Ccdb_sim.Net.install_faults}. *)
 
 val engine : t -> Ccdb_sim.Engine.t
 val net : t -> Ccdb_sim.Net.t
@@ -221,3 +257,40 @@ val on_site_crash : t -> (int -> unit) -> unit
 
 val on_site_recover : t -> (int -> unit) -> unit
 (** Registers a handler called with the site id at each recovery instant. *)
+
+(** {2 Durability}
+
+    Active only when the fault plan says [wipe=true]; all of it is inert —
+    and the WAL stays empty — otherwise, so a fault-free run is byte-for-byte
+    identical to one on a runtime without any of this machinery. *)
+
+val durable : t -> bool
+(** Whether crashes are fail-stop (fault plan installed with [wipe=true]). *)
+
+val wal : t -> Ccdb_storage.Wal.t
+(** The per-site write-ahead log (always present; only written when
+    {!durable}). *)
+
+val recovery_stats : t -> Ccdb_sim.Recovery.stats option
+(** Replay counters ([None] unless {!durable}). *)
+
+val on_site_wipe : t -> (int -> int * int) -> unit
+(** Registers a wipe handler called with the site id at each fail-stop crash
+    instant, after {!event.Site_crashed} and before the {!on_site_crash}
+    handlers.  The handler erases its owner's volatile state at that site and
+    returns [(dropped, preserved)] entry counts; the runtime sums them into
+    one {!event.Site_wiped}.  Handlers emit {!event.Request_dropped} for each
+    erased entry themselves. *)
+
+val on_wal_replay : t -> (int -> unit) -> unit
+(** Registers a handler called with the site id after recovery has replayed
+    the site's WAL (and emitted {!event.Wal_replayed}); the 2PC layer uses
+    this to rebuild in-doubt participant state and pending decisions. *)
+
+val restart_backoff : t -> base:float -> attempt:int -> float
+(** Resubmission delay for the [attempt]-th restart of a transaction
+    (0-based counting as the systems do: the value of their restart counter
+    at scheduling time).  Exactly [base] on a fault-free runtime; under
+    faults, capped exponential backoff [min restart_cap (base * 2^attempt)]
+    scaled by a seeded jitter factor in [\[0.5, 1.0)] so synchronized
+    crash-abort restart storms spread out. *)

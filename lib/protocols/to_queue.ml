@@ -70,6 +70,16 @@ let abort t ~txn =
   Hashtbl.remove t.index (txn, Ccdb_model.Op.Write);
   t.entries <- List.filter (fun e -> e.e_txn <> txn) t.entries
 
+let wipe_reads t =
+  let dropped, kept =
+    List.partition
+      (fun e -> Ccdb_model.Op.equal e.e_op Ccdb_model.Op.Read)
+      t.entries
+  in
+  t.entries <- kept;
+  List.iter (fun e -> Hashtbl.remove t.index (e.e_txn, e.e_op)) dropped;
+  List.map (fun e -> e.e_txn) dropped
+
 let perform_ready t =
   let performed = ref [] in
   (* one pass in timestamp order: an entry can perform only if nothing kept

@@ -60,6 +60,14 @@ val abort : t -> txn:int -> unit
 (** Withdraws the transaction's pending requests (used when the transaction
     was rejected at some other copy and restarts). *)
 
+val wipe_reads : t -> int list
+(** Fail-stop crash: drops every pending read (volatile — nothing was
+    promised to the issuer until the value message leaves) and returns the
+    owning transaction ids in timestamp order.  Accepted write prewrites
+    and the [r_ts]/[w_ts] floors survive: the admission of a prewrite was
+    acknowledged, i.e. force-logged, and dropping it would make the later
+    [commit_write] a silent no-op that hangs the transaction. *)
+
 val perform_ready : t -> performed list
 (** Removes and returns every request that is now performable, in timestamp
     order, updating [r_ts]/[w_ts].  The caller must implement them (log the

@@ -269,7 +269,9 @@ and restart t st ~except ~reason =
   st.ignored <- [];
   ignore
     (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
-       ~after:t.config.restart_delay (fun () -> begin_attempt t st))
+       ~after:
+         (Runtime.restart_backoff t.rt ~base:t.config.restart_delay
+            ~attempt:st.restarts) (fun () -> begin_attempt t st))
 
 and begin_attempt t st =
   let txn = st.txn in
@@ -350,6 +352,26 @@ let on_stall t txn_id =
     restart t st ~except:None ~reason:Runtime.Site_failure
   | Some _ | None -> ()
 
+(* Fail-stop wipe: pending reads are volatile (no value ever left the
+   site); accepted write prewrites were acknowledged and survive, along
+   with the timestamp floors — dropping one would turn its transaction's
+   later commit into a silent no-op. *)
+let on_site_wipe t site =
+  let dropped = ref 0 and preserved = ref 0 in
+  Hashtbl.iter
+    (fun (item, s) q ->
+      if s = site then begin
+        List.iter
+          (fun txn ->
+            incr dropped;
+            Runtime.emit t.rt
+              (Runtime.Request_dropped { txn; item; site; at = Runtime.now t.rt }))
+          (To_queue.wipe_reads q);
+        preserved := !preserved + To_queue.pending q
+      end)
+    t.queues;
+  (!dropped, !preserved)
+
 let create ?(config = default_config) rt =
   let t =
     { rt; config; queues = Hashtbl.create 64; states = Hashtbl.create 64;
@@ -357,6 +379,8 @@ let create ?(config = default_config) rt =
   in
   Runtime.on_site_crash rt (fun site -> on_site_crash t site);
   Runtime.on_stall rt (fun txn -> on_stall t txn);
+  if Runtime.durable rt then
+    Runtime.on_site_wipe rt (fun site -> on_site_wipe t site);
   t
 
 let submit t ?payload txn =

@@ -24,6 +24,8 @@ type txn_state = {
   mutable awaiting : (int * int) list; (* copies not yet granted *)
   mutable granted : ((int * int) * Ccdb_model.Op.kind * float) list;
   mutable reads : (int * int) list;    (* item -> value observed at grant *)
+  mutable executed : float; (* end of the compute phase; under 2PC the
+                               commit point fires later *)
 }
 
 type detector = Central of Deadlock.t | Probing of Edge_chasing.t
@@ -35,6 +37,7 @@ type t = {
   states : (int, txn_state) Hashtbl.t;
   mutable active : int;
   mutable detector : detector option;
+  mutable committer : Commit.t option; (* 2PC driver, durable runtimes only *)
 }
 
 let notify_blocked t txn_id =
@@ -83,6 +86,42 @@ let table t copy =
 
 let all_edges t =
   Hashtbl.fold (fun _ table acc -> Lock_table.waits_for table @ acc) t.tables []
+
+(* Commit point: the transaction is durably decided.  Without 2PC this is
+   the end of the compute phase; with it, the coordinator's commit record. *)
+let commit_txn t st =
+  let txn = st.txn in
+  Runtime.emit t.rt
+    (Runtime.Txn_committed
+       { txn; submitted_at = st.submitted_at; executed_at = st.executed;
+         restarts = st.restarts });
+  Hashtbl.remove t.states txn.id;
+  t.active <- t.active - 1;
+  if t.active = 0 then
+    match t.detector with
+    | Some (Central d) -> Deadlock.stop d
+    | Some (Probing _) | None -> ()
+
+(* The per-site 2PC payload: every granted copy, grouped by site, with the
+   value its release must implement. *)
+let participants_of st value_for =
+  let by_site = ref [] in
+  List.iter
+    (fun ((item, site), op, granted_at) ->
+      let value =
+        match op with
+        | Ccdb_model.Op.Write -> Some (value_for item)
+        | Ccdb_model.Op.Read -> None
+      in
+      let action =
+        { Ccdb_storage.Wal.item; op; value; attempt = st.attempt; granted_at }
+      in
+      match List.assoc_opt site !by_site with
+      | Some r -> r := action :: !r
+      | None -> by_site := (site, ref [ action ]) :: !by_site)
+    st.granted;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !by_site
+  |> List.map (fun (site, r) -> (site, List.rev !r))
 
 (* --- grant pump ------------------------------------------------------- *)
 
@@ -149,29 +188,28 @@ and finish t st =
     match List.assoc_opt item writes with Some v -> v | None -> txn.id
   in
   st.phase <- Done;
-  let executed_at = Runtime.now t.rt in
-  List.iter
-    (fun (((item, site) as copy), op, granted_at) ->
-      let wvalue =
-        match op with
-        | Ccdb_model.Op.Write -> Some (value_for item)
-        | Ccdb_model.Op.Read -> None
-      in
-      let attempt = st.attempt in
-      Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
-        ~kind:"lock-release" (fun () ->
-          on_release t copy txn.id attempt op wvalue granted_at))
-    st.granted;
-  Runtime.emit t.rt
-    (Runtime.Txn_committed
-       { txn; submitted_at = st.submitted_at; executed_at;
-         restarts = st.restarts });
-  Hashtbl.remove t.states txn.id;
-  t.active <- t.active - 1;
-  if t.active = 0 then
-    match t.detector with
-    | Some (Central d) -> Deadlock.stop d
-    | Some (Probing _) | None -> ()
+  st.executed <- Runtime.now t.rt;
+  match t.committer with
+  | Some c ->
+    (* durable: past the lock point the transaction's fate is settled by
+       presumed-abort 2PC; locks are released when each participant learns
+       the decision *)
+    Commit.commit c ~txn:txn.id ~home:txn.site
+      ~participants:(participants_of st value_for)
+  | None ->
+    List.iter
+      (fun (((item, site) as copy), op, granted_at) ->
+        let wvalue =
+          match op with
+          | Ccdb_model.Op.Write -> Some (value_for item)
+          | Ccdb_model.Op.Read -> None
+        in
+        let attempt = st.attempt in
+        Ccdb_sim.Net.send (Runtime.net t.rt) ~src:txn.site ~dst:site
+          ~kind:"lock-release" (fun () ->
+            on_release t copy txn.id attempt op wvalue granted_at))
+      st.granted;
+    commit_txn t st
 
 and on_release t ((item, site) as copy) txn_id attempt op wvalue granted_at =
   let tbl = table t copy in
@@ -304,16 +342,20 @@ and abort_victim ?(reason = Runtime.Deadlock_victim) t victim =
       st.granted <- [];
       ignore
         (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
-           ~after:t.config.restart_delay (fun () -> send_requests t st))
+           ~after:
+             (Runtime.restart_backoff t.rt ~base:t.config.restart_delay
+                ~attempt:st.restarts) (fun () -> send_requests t st))
     end
 
 (* Crash cleanup: abort every transaction still in its read (Waiting) phase
    that depends on the dead site — its home site crashed, or it awaits or
    holds a lock on a copy there.  Only Waiting transactions are touched:
-   anything past lock-point pushes forward through transport retries, so no
-   implemented write is ever lost.  [abort_victim] withdraws all its
-   requests, so no lock leaks on the dead site (the withdrawal reaches it
-   after recovery — fail-pause keeps the table alive meanwhile). *)
+   anything past lock-point pushes forward through transport retries (and,
+   when durable, through 2PC termination), so no implemented write is ever
+   lost.  [abort_victim] withdraws all its requests, so no lock leaks on
+   the dead site: under fail-pause the withdrawal reaches the live table
+   after recovery; under fail-stop the wipe already dropped the waiting
+   entry and the late withdrawal finds nothing. *)
 let depends_on_site st site =
   st.txn.Ccdb_model.Txn.site = site
   || List.exists (fun (_, s) -> s = site) st.awaiting
@@ -351,10 +393,30 @@ let local_waits_on t ~site ~txn =
     t.tables []
   |> List.sort_uniq Int.compare
 
+(* Fail-stop wipe of the lock tables hosted at [site]: waiting requests are
+   volatile and vanish; granted locks are WAL-backed and survive in place. *)
+let on_site_wipe t site =
+  let dropped = ref 0 and preserved = ref 0 in
+  Hashtbl.iter
+    (fun (item, s) tbl ->
+      if s = site then begin
+        let gone = Lock_table.wipe_waiting tbl in
+        List.iter
+          (fun (e : Lock_table.entry) ->
+            incr dropped;
+            Runtime.emit t.rt
+              (Runtime.Request_dropped
+                 { txn = e.txn; item; site; at = Runtime.now t.rt }))
+          gone;
+        preserved := !preserved + List.length (Lock_table.entries tbl)
+      end)
+    t.tables;
+  (!dropped, !preserved)
+
 let create ?(config = default_config) rt =
   let t =
     { rt; config; tables = Hashtbl.create 64; states = Hashtbl.create 64;
-      active = 0; detector = None }
+      active = 0; detector = None; committer = None }
   in
   let detector =
     match config.detection with
@@ -416,6 +478,24 @@ let create ?(config = default_config) rt =
   t.detector <- Some detector;
   Runtime.on_site_crash rt (fun site -> on_site_crash t site);
   Runtime.on_stall rt (fun txn -> on_stall t txn);
+  if Runtime.durable rt then begin
+    Runtime.on_site_wipe rt (fun site -> on_site_wipe t site);
+    t.committer <-
+      Some
+        (Commit.create rt
+           { Commit.apply =
+               (fun ~txn ~site actions ->
+                 List.iter
+                   (fun (a : Ccdb_storage.Wal.action) ->
+                     on_release t (a.item, site) txn a.attempt a.op a.value
+                       a.granted_at)
+                   actions);
+             commit_point =
+               (fun ~txn ->
+                 match Hashtbl.find_opt t.states txn with
+                 | Some st -> commit_txn t st
+                 | None -> ()) })
+  end;
   t
 
 let submit t ?payload txn =
@@ -423,7 +503,7 @@ let submit t ?payload txn =
     invalid_arg "Two_pl_system.submit: duplicate transaction id";
   let st =
     { txn; payload; submitted_at = Runtime.now t.rt; attempt = 0; restarts = 0;
-      phase = Waiting; awaiting = []; granted = []; reads = [] }
+      phase = Waiting; awaiting = []; granted = []; reads = []; executed = 0. }
   in
   Hashtbl.add t.states txn.id st;
   t.active <- t.active + 1;

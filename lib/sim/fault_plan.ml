@@ -12,6 +12,7 @@ type t = {
   default_link : link;
   links : ((int * int) * link) list; (* sorted by (src, dst) *)
   crashes : crash list;              (* sorted by crash time *)
+  wipe : bool;                       (* fail-stop: crashes erase volatile state *)
 }
 
 let reliable_link =
@@ -60,7 +61,7 @@ let check_crashes crashes =
     by_site
 
 let make ?(seed = 0) ?(default_link = reliable_link) ?(links = [])
-    ?(crashes = []) () =
+    ?(crashes = []) ?(wipe = false) () =
   check_link default_link;
   List.iter (fun (_, l) -> check_link l) links;
   let links = List.sort (fun (a, _) (b, _) -> compare a b) links in
@@ -80,7 +81,7 @@ let make ?(seed = 0) ?(default_link = reliable_link) ?(links = [])
     links;
   check_crashes crashes;
   let crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) crashes in
-  { seed; default_link; links; crashes }
+  { seed; default_link; links; crashes; wipe }
 
 let none = make ()
 
@@ -88,6 +89,7 @@ let seed t = t.seed
 let default_link t = t.default_link
 let links t = t.links
 let crashes t = t.crashes
+let wipe t = t.wipe
 
 let link_for t ~src ~dst =
   match List.assoc_opt (src, dst) t.links with
@@ -139,6 +141,7 @@ let to_string t =
           Printf.sprintf "crash=%d@%s+%s" c.site (float_str c.at)
             (float_str (c.recover_at -. c.at)))
         t.crashes
+    @ (if t.wipe then [ "wipe=true" ] else [])
     @ (if t.seed <> 0 then [ Printf.sprintf "seed=%d" t.seed ] else [])
   in
   match tokens with [] -> "none" | _ -> String.concat "," tokens
@@ -226,40 +229,71 @@ let parse_link_token s =
         go reliable_link fields
       | _ -> Error (Printf.sprintf "bad link endpoints %S" endpoints)))
 
+(* Splits on ',' and records the character offset (0-based, in the original
+   string) of each token's first non-blank character, so parse errors can
+   point at the offending token. *)
+let tokenize s =
+  let n = String.length s in
+  let raw = ref [] in
+  let start = ref 0 in
+  for i = 0 to n do
+    if i = n || s.[i] = ',' then begin
+      raw := (String.sub s !start (i - !start), !start) :: !raw;
+      start := i + 1
+    end
+  done;
+  let is_blank c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  List.rev !raw
+  |> List.filter_map (fun (tok, off) ->
+         let len = String.length tok in
+         let b = ref 0 in
+         while !b < len && is_blank tok.[!b] do incr b done;
+         let e = ref len in
+         while !e > !b && is_blank tok.[!e - 1] do decr e done;
+         if !e = !b then None else Some (String.sub tok !b (!e - !b), off + !b))
+
 let of_string s =
-  let tokens =
-    String.split_on_char ',' s
-    |> List.map String.trim
-    |> List.filter (fun tok -> tok <> "")
+  let fail tok pos msg =
+    Error
+      (Printf.sprintf "fault plan: %s in token %S at position %d" msg tok pos)
   in
-  let rec go acc_link links crashes seed = function
+  let located tok pos = function
+    | Ok _ as ok -> ok
+    | Error msg -> fail tok pos msg
+  in
+  let rec go acc_link links crashes seed wipe = function
     | [] -> (
-      try Ok (make ~seed ~default_link:acc_link ~links ~crashes ())
+      try Ok (make ~seed ~default_link:acc_link ~links ~crashes ~wipe ())
       with Invalid_argument msg -> Error msg)
-    | "none" :: rest -> go acc_link links crashes seed rest
-    | tok :: rest -> (
+    | ("none", _) :: rest -> go acc_link links crashes seed wipe rest
+    | (tok, pos) :: rest -> (
       match String.index_opt tok '=' with
-      | None -> Error (Printf.sprintf "bad token %S (expected key=value)" tok)
+      | None -> fail tok pos "expected key=value"
       | Some i -> (
         let key = String.sub tok 0 i in
         let v = String.sub tok (i + 1) (String.length tok - i - 1) in
         match key with
         | "drop" | "dup" | "delay" -> (
-          match apply_link_field acc_link tok with
+          match located tok pos (apply_link_field acc_link tok) with
           | Error _ as e -> e
-          | Ok l -> go l links crashes seed rest)
+          | Ok l -> go l links crashes seed wipe rest)
         | "crash" -> (
-          match parse_crash v with
+          match located tok pos (parse_crash v) with
           | Error _ as e -> e
-          | Ok c -> go acc_link links (c :: crashes) seed rest)
+          | Ok c -> go acc_link links (c :: crashes) seed wipe rest)
         | "link" -> (
-          match parse_link_token v with
+          match located tok pos (parse_link_token v) with
           | Error _ as e -> e
-          | Ok l -> go acc_link (l :: links) crashes seed rest)
+          | Ok l -> go acc_link (l :: links) crashes seed wipe rest)
         | "seed" -> (
           match int_of_string_opt v with
-          | Some seed -> go acc_link links crashes seed rest
-          | None -> Error (Printf.sprintf "bad seed %S" v))
-        | _ -> Error (Printf.sprintf "unknown fault-plan key %S" key)))
+          | Some seed -> go acc_link links crashes seed wipe rest
+          | None -> fail tok pos (Printf.sprintf "bad seed %S" v))
+        | "wipe" -> (
+          match bool_of_string_opt v with
+          | Some wipe -> go acc_link links crashes seed wipe rest
+          | None ->
+            fail tok pos (Printf.sprintf "bad wipe %S (expected true/false)" v))
+        | _ -> fail tok pos (Printf.sprintf "unknown key %S" key)))
   in
-  go reliable_link [] [] 0 tokens
+  go reliable_link [] [] 0 false (tokenize s)

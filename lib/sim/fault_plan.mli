@@ -10,15 +10,18 @@
     Plans are interpreted by {!Net.install_faults}: the network layers a
     retransmitting, deduplicating, order-restoring transport over the lossy
     links it describes (see DESIGN.md §9 for the full fault model), and
-    crash windows make a site unreachable for their duration (fail-pause:
-    the site's local state survives, its network is dead).
+    crash windows make a site unreachable for their duration.  By default
+    crashes are fail-pause (the site's local state survives, its network is
+    dead); with [wipe=true] they are fail-stop — volatile queue-manager
+    state is erased at the crash instant and the site recovers by replaying
+    its write-ahead log (DESIGN.md §11).
 
     The textual grammar accepted by {!of_string} (and printed by
     {!to_string}) is a comma-separated token list:
 
     {v
     drop=0.1,dup=0.02,delay=0.05x20,crash=1@400+300,seed=7
-    link=0>2/drop=0.5,crash=3@900+250
+    link=0>2/drop=0.5,crash=3@900+250,wipe=true
     v}
 
     - [drop=F] — default per-transmission loss probability
@@ -26,6 +29,7 @@
     - [delay=PxM] — with probability [P], add [exponential(M)] extra delay
     - [crash=S@T+D] — site [S] crashes at time [T], recovers at [T + D]
     - [link=SRC>DST/…] — override [drop]/[dup]/[delay] for one directed link
+    - [wipe=B] — [true] for fail-stop crashes, [false] (default) fail-pause
     - [seed=N] — seed of the plan's private fault RNG *)
 
 type link = {
@@ -42,8 +46,8 @@ type crash = {
   at : float;          (** crash instant, [>= 0] *)
   recover_at : float;  (** recovery instant, [> at] *)
 }
-(** One fail-pause outage: the site is unreachable in [\[at, recover_at)]
-    but keeps its local state (queues, lock tables) across the outage. *)
+(** One outage: the site is unreachable in [\[at, recover_at)].  Whether its
+    volatile state also dies is the plan-wide {!wipe} flag. *)
 
 type t
 (** An immutable fault plan. *)
@@ -61,11 +65,13 @@ val make :
   ?default_link:link ->
   ?links:((int * int) * link) list ->
   ?crashes:crash list ->
+  ?wipe:bool ->
   unit ->
   t
 (** [make ()] builds a validated plan.  [links] lists per-[(src, dst)]
     overrides of [default_link] (default: no overrides).  [seed] defaults
-    to 0, [default_link] to {!reliable_link}, [crashes] to [[]].
+    to 0, [default_link] to {!reliable_link}, [crashes] to [[]], [wipe] to
+    [false] (fail-pause).
     @raise Invalid_argument if a probability is outside [0, 1], a delay
     mean is negative, a crash window is empty or starts before time 0,
     two crash windows of the same site overlap, or a link appears twice. *)
@@ -82,6 +88,11 @@ val links : t -> ((int * int) * link) list
 val crashes : t -> crash list
 (** The crash schedule, sorted by crash time. *)
 
+val wipe : t -> bool
+(** Whether crashes are fail-stop: at each crash instant the site's volatile
+    queue-manager state is wiped and recovery replays the write-ahead log.
+    [false] means the original fail-pause semantics. *)
+
 val link_for : t -> src:int -> dst:int -> link
 (** The fault distribution of the directed link [src -> dst]. *)
 
@@ -94,7 +105,11 @@ val max_site : t -> int
 
 val of_string : string -> (t, string) result
 (** Parses the grammar documented above.  Whitespace around tokens is
-    ignored; unknown or malformed tokens yield [Error] with a message. *)
+    ignored.  An unknown or malformed token yields [Error] naming the
+    offending token and its 0-based character position in the input, e.g.
+    ["fault plan: bad seed \"x\" in token \"seed=x\" at position 9"];
+    plan-level validation failures (overlapping crash windows, …) yield the
+    {!make} message. *)
 
 val to_string : t -> string
 (** Canonical textual form; [of_string (to_string p)] round-trips. *)

@@ -62,10 +62,14 @@ val reset_counters : t -> unit
     A {!Fault_plan.t} describes per-link loss/duplication/delay
     distributions and a site crash schedule.  Installing one replaces the
     lossless delivery path with the reliable transport described above.
-    Crashes are fail-pause: a crashed site's local state survives, but
-    every transmission from or delivery to it is suppressed for the crash
-    window; senders keep retransmitting and the suppressed traffic flows
-    after recovery. *)
+    At the network level a crash suppresses every transmission from and
+    delivery to the site for the crash window; senders keep retransmitting
+    and the suppressed traffic flows after recovery.  Whether the site's
+    local state also dies is the plan's [wipe] flag: fail-pause (default)
+    keeps it, fail-stop ([wipe=true]) erases volatile state at the crash
+    instant — {!on_crash}/{!on_recover} listeners (run in registration
+    order) let {!Recovery} wipe and later rebuild it from the write-ahead
+    log. *)
 
 type retry = {
   rto : float;         (** initial retransmission timeout *)

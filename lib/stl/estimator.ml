@@ -126,7 +126,9 @@ let on_event t = function
   | Rt.Pa_backoff { op; _ } -> prob_observe t (op_key "pa" op) true
   | Rt.Lock_requested _ | Rt.Lock_promoted _ | Rt.Lock_transformed _
   | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Deadlock_detected _
-  | Rt.Site_crashed _ | Rt.Site_recovered _ -> ()
+  | Rt.Site_crashed _ | Rt.Site_recovered _ | Rt.Request_dropped _
+  | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _
+  | Rt.Decision_logged _ -> ()
 
 let create ?(priors = default_priors) rt =
   let t =

@@ -1,0 +1,161 @@
+type action = {
+  item : int;
+  op : Ccdb_model.Op.kind;
+  value : int option;
+  attempt : int;
+  granted_at : float;
+}
+
+type record =
+  | Admit of { txn : int; item : int; op : Ccdb_model.Op.kind; ts : int }
+  | Grant of { txn : int; item : int; op : Ccdb_model.Op.kind; ts : int option }
+  | Revoke of { txn : int; item : int }
+  | Release of { txn : int; item : int; op : Ccdb_model.Op.kind; aborted : bool }
+  | Prewrite of { txn : int; round : int; action : action }
+  | Vote of { txn : int; round : int; coordinator : int }
+  | Decision of { txn : int; round : int; commit : bool }
+  | Applied of { txn : int; round : int }
+  | Coord_commit of { txn : int; round : int; participants : int list }
+  | Coord_end of { txn : int; round : int }
+
+type entry = { at : float; record : record }
+
+type t = {
+  logs : entry list array; (* newest first *)
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~sites =
+  if sites <= 0 then invalid_arg "Wal.create: sites must be positive";
+  { logs = Array.make sites []; counts = Array.make sites 0; total = 0 }
+
+let sites t = Array.length t.logs
+
+let check t site name =
+  if site < 0 || site >= Array.length t.logs then
+    invalid_arg (name ^ ": site out of range")
+
+let append t ~site ~at record =
+  check t site "Wal.append";
+  t.logs.(site) <- { at; record } :: t.logs.(site);
+  t.counts.(site) <- t.counts.(site) + 1;
+  t.total <- t.total + 1
+
+let appends t = t.total
+
+let site_appends t site =
+  check t site "Wal.site_appends";
+  t.counts.(site)
+
+let records t ~site =
+  check t site "Wal.records";
+  List.rev t.logs.(site)
+
+type replay = {
+  scanned : int;
+  live_grants : int;
+  in_doubt : (int * int * int * action list) list;
+  decided : (int * int * bool) list;
+  applied : int list;
+  coord_pending : (int * int * int list) list;
+}
+
+let replay t ~site =
+  check t site "Wal.replay";
+  let log = List.rev t.logs.(site) in
+  let scanned = List.length log in
+  let live = ref 0 in
+  (* 2PC bookkeeping keyed by (txn, round) *)
+  let votes : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let prewrites : (int * int, action list) Hashtbl.t = Hashtbl.create 16 in
+  let decisions : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let applied = ref [] in
+  let decided = ref [] in
+  let vote_order = ref [] in
+  let coord : (int * int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let coord_order = ref [] in
+  List.iter
+    (fun { record; _ } ->
+      match record with
+      | Admit _ -> ()
+      | Grant _ -> incr live
+      | Revoke _ | Release _ -> if !live > 0 then decr live
+      | Prewrite { txn; round; action } ->
+          let key = (txn, round) in
+          let prev =
+            match Hashtbl.find_opt prewrites key with Some l -> l | None -> []
+          in
+          Hashtbl.replace prewrites key (action :: prev)
+      | Vote { txn; round; coordinator } ->
+          let key = (txn, round) in
+          if not (Hashtbl.mem votes key) then vote_order := key :: !vote_order;
+          Hashtbl.replace votes key coordinator
+      | Decision { txn; round; commit } ->
+          Hashtbl.replace decisions (txn, round) commit;
+          decided := (txn, round, commit) :: !decided
+      | Applied { txn; _ } -> applied := txn :: !applied
+      | Coord_commit { txn; round; participants } ->
+          let key = (txn, round) in
+          if not (Hashtbl.mem coord key) then coord_order := key :: !coord_order;
+          Hashtbl.replace coord key participants
+      | Coord_end { txn; round } -> Hashtbl.remove coord (txn, round))
+    log;
+  let applied_set = !applied in
+  let in_doubt =
+    List.rev !vote_order
+    |> List.filter_map (fun (txn, round) ->
+           if Hashtbl.mem decisions (txn, round) then None
+           else if List.mem txn applied_set then None
+           else
+             let coordinator = Hashtbl.find votes (txn, round) in
+             let actions =
+               match Hashtbl.find_opt prewrites (txn, round) with
+               | Some l -> List.rev l
+               | None -> []
+             in
+             Some (txn, round, coordinator, actions))
+  in
+  let coord_pending =
+    List.rev !coord_order
+    |> List.filter_map (fun key ->
+           match Hashtbl.find_opt coord key with
+           | Some participants -> Some (fst key, snd key, participants)
+           | None -> None)
+  in
+  {
+    scanned;
+    live_grants = !live;
+    in_doubt;
+    decided = List.rev !decided;
+    applied = List.rev !applied;
+    coord_pending;
+  }
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Ccdb_model.Op.Read -> "R" | Ccdb_model.Op.Write -> "W")
+
+let pp_record ppf = function
+  | Admit { txn; item; op; ts } ->
+      Format.fprintf ppf "admit t%d %a x%d ts=%d" txn pp_kind op item ts
+  | Grant { txn; item; op; ts } ->
+      Format.fprintf ppf "grant t%d %a x%d%s" txn pp_kind op item
+        (match ts with Some ts -> Printf.sprintf " ts=%d" ts | None -> "")
+  | Revoke { txn; item } -> Format.fprintf ppf "revoke t%d x%d" txn item
+  | Release { txn; item; op; aborted } ->
+      Format.fprintf ppf "release t%d %a x%d%s" txn pp_kind op item
+        (if aborted then " aborted" else "")
+  | Prewrite { txn; round; action } ->
+      Format.fprintf ppf "prewrite t%d/%d %a x%d" txn round pp_kind action.op
+        action.item
+  | Vote { txn; round; coordinator } ->
+      Format.fprintf ppf "vote t%d/%d coord=%d" txn round coordinator
+  | Decision { txn; round; commit } ->
+      Format.fprintf ppf "decision t%d/%d %s" txn round
+        (if commit then "commit" else "abort")
+  | Applied { txn; round } -> Format.fprintf ppf "applied t%d/%d" txn round
+  | Coord_commit { txn; round; participants } ->
+      Format.fprintf ppf "coord-commit t%d/%d [%s]" txn round
+        (String.concat "," (List.map string_of_int participants))
+  | Coord_end { txn; round } -> Format.fprintf ppf "coord-end t%d/%d" txn round

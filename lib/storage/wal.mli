@@ -1,0 +1,98 @@
+(** Per-site write-ahead log: the simulation's "stable storage".
+
+    Under a fault plan with [wipe=true] a crash is fail-stop: every queue
+    manager at the site loses its volatile state (lock tables, T/O queues,
+    pending negotiations), and only what was forced to this log survives.
+    Sites follow the classic log-before-ack discipline — any admission,
+    grant, prewrite or 2PC vote whose acknowledgement left the site was
+    appended here first — so recovery can rebuild exactly the promises the
+    rest of the system may still rely on (DESIGN.md section 11).
+
+    Records are plain values, not bytes: the log models {e what} must be
+    durable, not an encoding.  Appends and replays are counted so the
+    harness can report durability overhead (see [bench/] and experiment
+    E12). *)
+
+type action = {
+  item : int;
+  op : Ccdb_model.Op.kind;
+  value : int option;  (** the committed value — [Some] for writes *)
+  attempt : int;       (** issuer attempt number (2PL lock-table key; 0 elsewhere) *)
+  granted_at : float;  (** grant instant of the lock being released *)
+}
+(** One operation a 2PC participant must implement when the decision is
+    commit.  Carried in {!record.Prewrite} records so a recovering
+    participant can re-apply an in-doubt transaction without any volatile
+    state. *)
+
+type record =
+  | Admit of { txn : int; item : int; op : Ccdb_model.Op.kind; ts : int }
+      (** a timestamped request was admitted to a queue (T/O, PA, MVTO
+          prewrites); the admission is a promise the issuer may have
+          observed, so it is forced before the acknowledgement *)
+  | Grant of { txn : int; item : int; op : Ccdb_model.Op.kind; ts : int option }
+      (** lock-point event: a lock (or performed T/O operation) was granted *)
+  | Revoke of { txn : int; item : int }
+      (** PA phase 2 moved a granted entry; the grant is no longer live *)
+  | Release of { txn : int; item : int; op : Ccdb_model.Op.kind; aborted : bool }
+      (** the entry left the queue (implemented or aborted) *)
+  | Prewrite of { txn : int; round : int; action : action }
+      (** 2PC: one action of a prepared transaction, forced before the vote *)
+  | Vote of { txn : int; round : int; coordinator : int }
+      (** 2PC participant voted yes for this round (forced before the vote
+          message; presumed abort logs no explicit abort votes) *)
+  | Decision of { txn : int; round : int; commit : bool }
+      (** 2PC participant learned the outcome of the round *)
+  | Applied of { txn : int; round : int }
+      (** the participant implemented the committed actions *)
+  | Coord_commit of { txn : int; round : int; participants : int list }
+      (** coordinator commit record — the transaction's commit point.
+          Presumed abort: this is the {e first} coordinator record of a
+          transaction; a coordinator with no record presumes abort. *)
+  | Coord_end of { txn : int; round : int }
+      (** every participant acknowledged; the coordinator forgets the txn *)
+
+type entry = { at : float; record : record }
+
+type t
+
+val create : sites:int -> t
+(** One empty log per site.  @raise Invalid_argument if [sites <= 0]. *)
+
+val sites : t -> int
+
+val append : t -> site:int -> at:float -> record -> unit
+(** Forces one record to the site's log.  @raise Invalid_argument on an
+    out-of-range site. *)
+
+val appends : t -> int
+(** Total records forced across all sites since creation. *)
+
+val site_appends : t -> int -> int
+(** Records forced at one site. *)
+
+val records : t -> site:int -> entry list
+(** The site's log, oldest first. *)
+
+type replay = {
+  scanned : int;  (** records scanned by this replay *)
+  live_grants : int;
+      (** grants not yet released or revoked — the semi-locks and locks the
+          recovering site still holds on behalf of remote issuers *)
+  in_doubt : (int * int * int * action list) list;
+      (** [(txn, round, coordinator, actions)]: voted rounds with no
+          decision and no applied transaction — must re-inquire *)
+  decided : (int * int * bool) list;
+      (** [(txn, round, commit)] decision records, oldest first *)
+  applied : int list;
+      (** transactions whose committed actions were implemented here *)
+  coord_pending : (int * int * int list) list;
+      (** [(txn, round, participants)]: commit records without a matching
+          {!record.Coord_end} — decisions that must be re-sent *)
+}
+
+val replay : t -> site:int -> replay
+(** Scans the site's log and summarizes what recovery must restore.  Pure:
+    replaying twice (a crash inside a replay window) is idempotent. *)
+
+val pp_record : Format.formatter -> record -> unit

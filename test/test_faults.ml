@@ -54,6 +54,99 @@ let test_plan_rejects () =
   bad "frobnicate=1";
   bad "link=0-2/drop=0.5"
 
+let test_plan_whitespace () =
+  let a = plan_of_string " drop=0.1 ,\tcrash=1@400+300 ,  seed=7 " in
+  let b = plan_of_string "drop=0.1,crash=1@400+300,seed=7" in
+  check Alcotest.string "whitespace around tokens is ignored" (FP.to_string b)
+    (FP.to_string a)
+
+let test_plan_error_positions () =
+  (* parse errors name the offending token and its 0-based position *)
+  let err s =
+    match FP.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e -> e
+  in
+  check Alcotest.string "unknown key"
+    "fault plan: unknown key \"frobnicate\" in token \"frobnicate=1\" at \
+     position 9"
+    (err "drop=0.1,frobnicate=1");
+  check Alcotest.string "bad seed"
+    "fault plan: bad seed \"x\" in token \"seed=x\" at position 9"
+    (err "drop=0.1,seed=x");
+  check Alcotest.string "bad wipe"
+    "fault plan: bad wipe \"maybe\" (expected true/false) in token \
+     \"wipe=maybe\" at position 0"
+    (err "wipe=maybe");
+  check Alcotest.string "bad drop value"
+    "fault plan: bad drop value \"oops\" in token \"drop=oops\" at position 0"
+    (err "drop=oops");
+  (* the position points at the token's first non-blank character *)
+  check Alcotest.string "position skips leading blanks"
+    "fault plan: expected key=value in token \"what\" at position 11"
+    (err "drop=0.1,  what")
+
+(* Randomized round-trip pin: [of_string (to_string p)] reproduces [p]
+   exactly, component by component.  Generated floats are multiples of
+   0.01 (probabilities) or 0.5 (times), which [to_string]'s %.12g prints
+   losslessly; one crash per site keeps windows overlap-free and the
+   delay pair is canonical (mean 0 whenever the probability is 0, since
+   an unprintable field must sit at its default to round-trip). *)
+let plan_gen =
+  let open QCheck.Gen in
+  let prob = map (fun k -> float_of_int k /. 100.) (int_range 0 100) in
+  let link_gen =
+    map
+      (fun ((drop, duplicate), delay) ->
+        let delay_prob, delay_mean =
+          match delay with
+          | Some (p, m) when p > 0. -> (p, float_of_int m /. 2.)
+          | _ -> (0., 0.)
+        in
+        { FP.drop; duplicate; delay_prob; delay_mean })
+      (pair (pair prob prob) (opt (pair prob (int_range 1 80))))
+  in
+  let crash_gen site =
+    map
+      (fun (a, d) ->
+        let at = float_of_int a /. 2. in
+        { FP.site; at; recover_at = at +. (float_of_int (d + 1) /. 2.) })
+      (pair (int_range 0 2000) (int_range 0 600))
+  in
+  let crashes_gen =
+    map
+      (fun (a, b, c) -> List.filter_map Fun.id [ a; b; c ])
+      (triple (opt (crash_gen 1)) (opt (crash_gen 2)) (opt (crash_gen 3)))
+  in
+  let links_gen =
+    map
+      (fun (a, b) ->
+        List.filter_map Fun.id
+          [ Option.map (fun l -> ((0, 1), l)) a;
+            Option.map (fun l -> ((2, 0), l)) b ])
+      (pair (opt link_gen) (opt link_gen))
+  in
+  map
+    (fun ((default_link, links), (crashes, (seed, wipe))) ->
+      FP.make ~seed ~default_link ~links ~crashes ~wipe ())
+    (pair (pair link_gen links_gen)
+       (pair crashes_gen (pair (int_range 0 9999) bool)))
+
+let plan_equal a b =
+  FP.seed a = FP.seed b
+  && FP.wipe a = FP.wipe b
+  && FP.default_link a = FP.default_link b
+  && FP.links a = FP.links b
+  && FP.crashes a = FP.crashes b
+
+let test_plan_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"of_string (to_string p) = p"
+       (QCheck.make ~print:FP.to_string plan_gen) (fun p ->
+         match FP.of_string (FP.to_string p) with
+         | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e
+         | Ok p' -> plan_equal p p'))
+
 (* --- reliable transport ------------------------------------------------ *)
 
 let transport ?(sites = 3) plan =
@@ -229,7 +322,10 @@ let suites =
   [ ( "faults.plan",
       [ Alcotest.test_case "grammar round-trip" `Quick test_plan_roundtrip;
         Alcotest.test_case "none" `Quick test_plan_none;
-        Alcotest.test_case "rejects" `Quick test_plan_rejects ] );
+        Alcotest.test_case "rejects" `Quick test_plan_rejects;
+        Alcotest.test_case "whitespace tolerant" `Quick test_plan_whitespace;
+        Alcotest.test_case "error positions" `Quick test_plan_error_positions;
+        test_plan_roundtrip_random ] );
     ( "faults.transport",
       [ Alcotest.test_case "in-order exactly-once" `Quick
           test_transport_in_order_exactly_once;

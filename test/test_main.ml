@@ -12,4 +12,5 @@ let () =
     @ Test_harness.suites
     @ Test_analysis.suites
     @ Test_faults.suites
+    @ Test_recovery.suites
     @ Test_parallel.suites)

@@ -1,0 +1,240 @@
+(* Durability: fail-stop crashes (volatile-state wipe), write-ahead
+   logging, presumed-abort 2PC and WAL replay, audited by the analyzer's
+   durability invariants across every driver mode. *)
+
+module FP = Ccdb_sim.Fault_plan
+module Net = Ccdb_sim.Net
+module Rt = Ccdb_protocols.Runtime
+module D = Ccdb_harness.Driver
+module G = Ccdb_workload.Generator
+
+let check = Alcotest.check
+
+let plan_of_string s =
+  match FP.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+let spec =
+  { G.default with
+    arrival_rate = 0.08;
+    size_min = 1;
+    size_max = 3;
+    protocol_mix =
+      [ (Ccdb_model.Protocol.Two_pl, 1.);
+        (Ccdb_model.Protocol.T_o, 1.);
+        (Ccdb_model.Protocol.Pa, 1.) ] }
+
+let all_modes =
+  [ D.Pure Ccdb_model.Protocol.Two_pl;
+    D.Pure Ccdb_model.Protocol.T_o;
+    D.Pure Ccdb_model.Protocol.Pa;
+    D.Unified;
+    D.Unified_forced Ccdb_model.Protocol.Two_pl;
+    D.Unified_forced Ccdb_model.Protocol.T_o;
+    D.Unified_forced Ccdb_model.Protocol.Pa;
+    D.Unified_full_lock;
+    D.Dynamic;
+    D.Mvto;
+    D.Conservative ]
+
+(* the durability invariants a fail-stop run must never trip, at any
+   severity *)
+let durability_checks =
+  [ "thm.durability-lost"; "thm.partial-commit"; "thm.not-serializable";
+    "lock.resurrected" ]
+
+let assert_durably_clean name report =
+  check Alcotest.int
+    (name ^ " zero analyzer errors")
+    0
+    (List.length (Ccdb_analysis.Report.errors report));
+  List.iter
+    (fun c ->
+      check Alcotest.int
+        (Printf.sprintf "%s no %s findings" name c)
+        0
+        (List.length
+           (List.filter
+              (fun (f : Ccdb_analysis.Finding.t) -> f.check = c)
+              (Ccdb_analysis.Report.findings report))))
+    durability_checks
+
+let recovery_of name (s : Ccdb_harness.Metrics.summary) =
+  match s.recovery with
+  | Some r -> r
+  | None -> Alcotest.failf "%s: wipe=true run has no recovery counters" name
+
+(* --- fail-stop acceptance: every mode, full wipe ------------------------ *)
+
+(* the faulted acceptance plan with fail-stop semantics switched on *)
+let wipe_plan =
+  plan_of_string "drop=0.1,crash=1@400+300,crash=2@1200+300,wipe=true,seed=11"
+
+let test_every_system_survives_fail_stop () =
+  List.iter
+    (fun mode ->
+      let name = D.mode_name mode in
+      let r = D.run ~n_txns:200 ~audit:true ~faults:wipe_plan mode spec in
+      check Alcotest.int (name ^ " all txns commit") 200 r.summary.committed;
+      if mode <> D.Mvto then begin
+        check Alcotest.bool (name ^ " serializable") true
+          r.summary.serializable;
+        check Alcotest.bool (name ^ " replicas consistent") true
+          r.summary.replica_consistent
+      end;
+      assert_durably_clean name (Option.get r.audit);
+      (* the WAL really was engaged and replayed at both recoveries *)
+      let rec_ = recovery_of name r.summary in
+      check Alcotest.bool (name ^ " WAL written") true
+        (rec_.Ccdb_harness.Metrics.wal_appends > 0);
+      check Alcotest.int (name ^ " two replays") 2
+        rec_.Ccdb_harness.Metrics.replays;
+      (* Corollary 1 holds even under fail-stop: every PA negotiation entry
+         is preserved by the wipe, so pure PA still never restarts *)
+      if mode = D.Pure Ccdb_model.Protocol.Pa then
+        check (Alcotest.float 0.) (name ^ " PA restart-free") 0.
+          r.summary.restarts_per_txn)
+    all_modes
+
+(* --- crash during recovery ---------------------------------------------- *)
+
+(* With replay_cost 2.0, site 1's recovery at t=400 opens a replay window
+   of 2.0 x (records in its WAL) time units; by then the site has logged
+   far more than 3 records under this workload, so the second crash at
+   t=405 lands inside the window.  Replay is idempotent, so the run must
+   end exactly as clean as a single-crash one. *)
+let double_crash_plan =
+  plan_of_string "crash=1@300+100,crash=1@405+200,wipe=true,seed=5"
+
+let test_crash_during_recovery () =
+  List.iter
+    (fun mode ->
+      let name = D.mode_name mode in
+      let r =
+        D.run ~n_txns:150 ~audit:true ~faults:double_crash_plan
+          ~replay_cost:2.0 mode spec
+      in
+      check Alcotest.int (name ^ " all txns commit") 150 r.summary.committed;
+      assert_durably_clean name (Option.get r.audit);
+      let rec_ = recovery_of name r.summary in
+      check Alcotest.int (name ^ " second crash interrupted the replay") 1
+        rec_.Ccdb_harness.Metrics.interrupted)
+    all_modes
+
+(* --- duplicated 2PC decision messages ----------------------------------- *)
+
+(* A high duplication rate on every link hits the 2PC decision and ack
+   traffic; the transport's exactly-once delivery plus the participant's
+   decided-round table must keep applies idempotent.  The crashes force
+   coordinator-resend and re-inquiry paths on top of the duplicates. *)
+let dup_plan =
+  plan_of_string
+    "dup=0.3,drop=0.05,crash=1@400+300,crash=3@1100+250,wipe=true,seed=23"
+
+let test_duplicate_decision_delivery () =
+  List.iter
+    (fun mode ->
+      let name = D.mode_name mode in
+      let r = D.run ~n_txns:150 ~audit:true ~faults:dup_plan mode spec in
+      check Alcotest.int (name ^ " all txns commit") 150 r.summary.committed;
+      assert_durably_clean name (Option.get r.audit);
+      let stats = Option.get r.summary.transport in
+      check Alcotest.bool (name ^ " duplicates actually happened") true
+        (stats.Net.duplicated > 0))
+    all_modes
+
+(* --- the durable machinery is inert without wipe=true -------------------- *)
+
+let new_event_seen events =
+  Array.exists
+    (function
+      | Rt.Request_dropped _ | Rt.Site_wiped _ | Rt.Wal_replayed _
+      | Rt.Prepared _ | Rt.Decision_logged _ -> true
+      | _ -> false)
+    events
+
+let test_durability_inert_without_wipe () =
+  (* fault-free: no WAL appends, no recovery counters, none of the new
+     events in the trace — the byte-identity guarantee's mechanism *)
+  let trace = ref None in
+  let r =
+    D.run ~n_txns:80
+      ~observer:(fun rt -> trace := Some (Ccdb_harness.Trace.attach rt))
+      D.Unified spec
+  in
+  check Alcotest.int "fault-free: committed" 80 r.summary.committed;
+  check Alcotest.bool "fault-free: not durable" false (Rt.durable r.runtime);
+  check Alcotest.int "fault-free: WAL empty" 0
+    (Ccdb_storage.Wal.appends (Rt.wal r.runtime));
+  check Alcotest.bool "fault-free: no recovery counters" true
+    (r.summary.recovery = None);
+  check Alcotest.bool "fault-free: no durability events" false
+    (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)));
+  (* fail-pause faults (wipe=false): still no durability machinery *)
+  let plan = plan_of_string "drop=0.1,crash=1@400+300,seed=11" in
+  let trace = ref None in
+  let r =
+    D.run ~n_txns:80 ~faults:plan
+      ~observer:(fun rt -> trace := Some (Ccdb_harness.Trace.attach rt))
+      D.Unified spec
+  in
+  check Alcotest.bool "fail-pause: not durable" false (Rt.durable r.runtime);
+  check Alcotest.int "fail-pause: WAL empty" 0
+    (Ccdb_storage.Wal.appends (Rt.wal r.runtime));
+  check Alcotest.bool "fail-pause: no recovery counters" true
+    (r.summary.recovery = None);
+  check Alcotest.bool "fail-pause: no durability events" false
+    (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)))
+
+(* --- restart backoff ----------------------------------------------------- *)
+
+let test_restart_backoff () =
+  let catalog = Ccdb_storage.Catalog.create ~items:4 ~sites:2 ~replication:1 in
+  (* fault-free runtime: exactly base, every attempt (byte identity) *)
+  let rt =
+    Rt.create ~net_config:(Net.default_config ~sites:2) ~catalog ()
+  in
+  List.iter
+    (fun attempt ->
+      check (Alcotest.float 0.) "fault-free backoff is the base" 50.
+        (Rt.restart_backoff rt ~base:50. ~attempt))
+    [ 0; 1; 5; 40 ];
+  (* faulted runtime: jittered doubling under the cap *)
+  let rt =
+    Rt.create ~faults:(plan_of_string "drop=0.1,seed=3") ~restart_cap:800.
+      ~net_config:(Net.default_config ~sites:2) ~catalog ()
+  in
+  for attempt = 0 to 20 do
+    let d = Rt.restart_backoff rt ~base:50. ~attempt in
+    let uncapped = Float.min 800. (50. *. (2. ** float_of_int (min attempt 16))) in
+    check Alcotest.bool "within jitter band" true
+      (d >= uncapped *. 0.5 -. 1e-9 && d < uncapped)
+  done;
+  (* the cap really caps: large attempts never exceed it *)
+  for _ = 0 to 50 do
+    check Alcotest.bool "capped" true
+      (Rt.restart_backoff rt ~base:50. ~attempt:30 <= 800.)
+  done
+
+(* --- E12 ----------------------------------------------------------------- *)
+
+let test_e12_runs () =
+  let o = Ccdb_harness.Experiments.e12_crash_recovery ~quick:true () in
+  check Alcotest.string "id" "E12" o.Ccdb_harness.Experiments.id;
+  check Alcotest.bool "rendered" true
+    (String.length (Ccdb_harness.Experiments.render o) > 0)
+
+let suites =
+  [ ( "recovery.systems",
+      [ Alcotest.test_case "fail-stop acceptance, all systems" `Slow
+          test_every_system_survives_fail_stop;
+        Alcotest.test_case "crash during recovery, all systems" `Slow
+          test_crash_during_recovery;
+        Alcotest.test_case "duplicated decisions, all systems" `Slow
+          test_duplicate_decision_delivery ] );
+    ( "recovery.gating",
+      [ Alcotest.test_case "inert without wipe" `Quick
+          test_durability_inert_without_wipe;
+        Alcotest.test_case "restart backoff" `Quick test_restart_backoff;
+        Alcotest.test_case "E12 quick" `Slow test_e12_runs ] ) ]
