@@ -1,6 +1,6 @@
 (* The benchmark binary: regenerates every reproduced experiment table
-   (E1-E11, see DESIGN.md section 5 and EXPERIMENTS.md) and then runs
-   bechamel micro-benchmarks of the core data structures.
+   (E1-E13 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
+   runs bechamel micro-benchmarks of the core data structures.
 
    Run with: dune exec bench/main.exe
    Pass --quick for reduced transaction counts, --micro-only / --exp-only to
@@ -45,7 +45,8 @@ let json_path = !json_path
 (* ----------------------------------------------------------------- audit *)
 
 let run_audit () =
-  print_endline "=== Invariant audit (one traced run per system) ===";
+  print_endline
+    "=== Invariant audit (one differential batch/stream run per system) ===";
   let spec =
     { Ccdb_workload.Generator.default with
       arrival_rate = 0.15;
@@ -58,7 +59,10 @@ let run_audit () =
   let failed = ref false in
   List.iter
     (fun mode ->
-      let r = Ccdb_harness.Driver.run ~setup ~n_txns ~audit:true mode spec in
+      let r =
+        Ccdb_harness.Driver.run ~setup ~n_txns ~audit:true
+          ~audit_path:Ccdb_harness.Driver.Differential mode spec
+      in
       let report = Option.get r.audit in
       Printf.printf "%-18s %s\n%!"
         (Ccdb_harness.Driver.mode_name mode)
@@ -299,6 +303,69 @@ let bench_conflict_check =
     (Bechamel.Staged.stage (fun () ->
          ignore (Ccdb_serial.Check.conflict_serializable logs)))
 
+let bench_incremental_edge =
+  (* one edge insertion + Pearce-Kelly acyclicity re-check on a live
+     incremental graph over the same 100-transaction population as
+     conflict_graph.check; the graph is recycled every 4096 insertions so
+     the measurement never degenerates into an ever-denser graph *)
+  Bechamel.Test.make ~name:"conflict_graph.check-incremental"
+    (Bechamel.Staged.stage
+       (let rng = ref (Ccdb_util.Rng.create ~seed:3) in
+        let g = ref (Ccdb_serial.Incremental.create ()) in
+        let counter = ref 0 in
+        let prov =
+          { Ccdb_serial.Incremental.item = 0; site = 0;
+            from_op = Ccdb_model.Op.Write; to_op = Ccdb_model.Op.Read }
+        in
+        fun () ->
+          incr counter;
+          if !counter land 4095 = 0 then begin
+            g := Ccdb_serial.Incremental.create ();
+            rng := Ccdb_util.Rng.create ~seed:3
+          end;
+          let src = 1 + Ccdb_util.Rng.int !rng 100 in
+          let dst = 1 + Ccdb_util.Rng.int !rng 100 in
+          ignore (Ccdb_serial.Incremental.add_edge !g ~src ~dst ~prov)))
+
+let bench_stream_feed =
+  (* one real event through the whole streaming analyzer (semi-lock,
+     precedence and theorem audits plus the incremental conflict graph
+     with prefix GC); the events are a recorded 40-transaction unified
+     run and the analyzer state is recreated at wrap *)
+  let setup =
+    { Ccdb_harness.Driver.default_setup with items = 12; sites = 3 }
+  in
+  let events =
+    let tr = ref None in
+    let spec =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = 0.2;
+        protocol_mix =
+          [ (Ccdb_model.Protocol.Two_pl, 1.); (Ccdb_model.Protocol.T_o, 1.);
+            (Ccdb_model.Protocol.Pa, 1.) ] }
+    in
+    ignore
+      (Ccdb_harness.Driver.run ~setup ~n_txns:40
+         ~observer:(fun rt -> tr := Some (Ccdb_harness.Trace.attach rt))
+         Ccdb_harness.Driver.Unified spec);
+    Ccdb_harness.Trace.to_array (Option.get !tr)
+  in
+  let catalog () =
+    Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
+      ~replication:setup.replication
+  in
+  Bechamel.Test.make ~name:"analysis.stream-feed"
+    (Bechamel.Staged.stage
+       (let st = ref (Ccdb_analysis.Stream.create ~catalog:(catalog ()) ()) in
+        let i = ref 0 in
+        fun () ->
+          if !i >= Array.length events then begin
+            i := 0;
+            st := Ccdb_analysis.Stream.create ~catalog:(catalog ()) ()
+          end;
+          ignore (Ccdb_analysis.Stream.feed !st events.(!i));
+          incr i))
+
 let bench_heap =
   Bechamel.Test.make ~name:"heap.push100+drain"
     (Bechamel.Staged.stage
@@ -338,7 +405,8 @@ let run_micro () =
     Bechamel.Test.make_grouped ~name:"ccdb"
       [ bench_precedence_compare; bench_semi_lock_cycle; bench_lock_table_cycle;
         bench_wal_append; bench_wal_replay; bench_stl_eval;
-        bench_conflict_check; bench_heap; bench_end_to_end ]
+        bench_conflict_check; bench_incremental_edge; bench_stream_feed;
+        bench_heap; bench_end_to_end ]
   in
   let cfg =
     Bechamel.Benchmark.cfg ~limit:2000
@@ -419,7 +487,7 @@ let write_json path ~exp ~micro =
   in
   let doc =
     Obj
-      [ ("schema", Str "ccdb-bench/2");
+      [ ("schema", Str "ccdb-bench/3");
         ("quick", Bool quick);
         ("cores", Num (float_of_int (Domain.recommended_domain_count ())));
         ("jobs", Num (float_of_int jobs));

@@ -49,6 +49,38 @@ let mode_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
+(* [--stream] (the default), [--batch] and [--differential] select how
+   [run ~audit:true] computes its report; shared by analyze/faults/recover. *)
+let audit_path_term =
+  let open Cmdliner in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:
+               "Audit online: feed the incremental analyzer during the run \
+                (flat per-event cost, no trace retained).  The default.")
+  in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:
+               "Audit offline: record the full trace, replay it through the \
+                batch analyzer after the run (the executable specification).")
+  in
+  let differential =
+    Arg.(value & flag
+         & info [ "differential" ]
+             ~doc:
+               "Run both audit paths and fail on any disagreement \
+                (reported as an audit.divergence error finding).")
+  in
+  let pick _stream batch differential =
+    if differential then Ccdb_harness.Driver.Differential
+    else if batch then Ccdb_harness.Driver.Batch
+    else Ccdb_harness.Driver.Streaming
+  in
+  Term.(const pick $ stream $ batch $ differential)
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -214,7 +246,7 @@ let analyze_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Print only the summary line, not findings.")
   in
-  let run mode lambda txns sites items repl qr seed mix quiet =
+  let run mode lambda txns sites items repl qr seed mix quiet audit_path =
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -226,7 +258,10 @@ let analyze_cmd =
         sites; items; replication = repl; seed;
         net = Ccdb_sim.Net.default_config ~sites }
     in
-    let r = Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:true mode spec in
+    let r =
+      Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:true ~audit_path mode
+        spec
+    in
     let report = Option.get r.audit in
     Format.printf "mode:   %s@." (Ccdb_harness.Driver.mode_name mode);
     if quiet then
@@ -237,14 +272,17 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Run one simulation with full event tracing, then statically audit \
-          the trace against the paper's invariants (semi-lock compatibility, \
-          precedence conditions E1/E2, deadlock/restart theorems, \
-          serializability of the final logs).  Exits 1 on any \
-          error-severity finding.")
+         "Run one simulation and audit it against the paper's invariants \
+          (semi-lock compatibility, precedence conditions E1/E2, \
+          deadlock/restart theorems, serializability of the final logs).  \
+          By default the audit streams: events feed the incremental \
+          analyzer as they fire ($(b,--stream)); $(b,--batch) records and \
+          replays the full trace instead, and $(b,--differential) runs \
+          both and fails on disagreement.  Exits 1 on any error-severity \
+          finding.")
     Term.(
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ qr $ seed
-      $ mix $ quiet)
+      $ mix $ quiet $ audit_path_term)
 
 (* ---------------------------------------------------------- experiments *)
 
@@ -296,7 +334,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E12).")
+       ~doc:"Regenerate the paper-reproduction tables (E1-E13, X1-X7).")
     Term.(const run $ quick $ only $ csv_dir $ jobs)
 
 (* --------------------------------------------------------------- faults *)
@@ -352,7 +390,8 @@ let faults_cmd =
          & info [ "no-audit" ]
              ~doc:"Skip the static invariant audit of the traced run.")
   in
-  let run plan mode lambda txns sites items seed mix rto max_retries no_audit =
+  let run plan mode lambda txns sites items seed mix rto max_retries no_audit
+      audit_path =
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -365,7 +404,7 @@ let faults_cmd =
     let retry = { Ccdb_sim.Net.default_retry with rto; max_retries } in
     let r =
       Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
-        ~faults:plan ~retry mode spec
+        ~audit_path ~faults:plan ~retry mode spec
     in
     let s = r.summary in
     Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
@@ -416,7 +455,7 @@ let faults_cmd =
           audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ rto $ max_retries $ no_audit)
+      $ rto $ max_retries $ no_audit $ audit_path_term)
 
 (* -------------------------------------------------------------- recover *)
 
@@ -468,7 +507,7 @@ let recover_cmd =
          & info [ "no-audit" ]
              ~doc:"Skip the static invariant audit of the traced run.")
   in
-  let run plan mode lambda txns sites items seed mix no_audit =
+  let run plan mode lambda txns sites items seed mix no_audit audit_path =
     let plan =
       (* fail-stop is the point of this command *)
       Ccdb_sim.Fault_plan.make ~seed:(Ccdb_sim.Fault_plan.seed plan)
@@ -487,7 +526,7 @@ let recover_cmd =
     in
     let r =
       Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
-        ~faults:plan mode spec
+        ~audit_path ~faults:plan mode spec
     in
     let s = r.summary in
     Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
@@ -542,7 +581,7 @@ let recover_cmd =
           to commit or the audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ no_audit)
+      $ no_audit $ audit_path_term)
 
 (* ---------------------------------------------------------------- sweep *)
 

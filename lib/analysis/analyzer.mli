@@ -19,3 +19,21 @@ val analyze_events :
   Ccdb_protocols.Runtime.event list ->
   Report.t
 (** Convenience wrapper over {!analyze} for [Trace.events]-style lists. *)
+
+val analyze_stream :
+  ?store:Ccdb_storage.Store.t ->
+  ?catalog:Ccdb_storage.Catalog.t ->
+  ?theorem2:bool ->
+  Ccdb_protocols.Runtime.event array ->
+  Report.t
+(** The same verdicts via the streaming path ({!Stream}): folds the events
+    through the per-event audits and the incremental conflict graph.  Used
+    by the differential tests; the driver feeds {!Stream} directly instead
+    of recording a trace. *)
+
+val diff : batch:Report.t -> stream:Report.t -> string list
+(** Divergences between a batch and a streaming report over the same
+    trace: one line per finding present on one side only (compared
+    field-for-field), plus events-scanned and [thm.not-serializable]-count
+    mismatches (that check's witness may legitimately differ, so it is
+    compared by count).  Empty means the reports agree. *)

@@ -6,11 +6,13 @@ type t = {
   event_index : int option;
   txns : int list;
   copy : (int * int) option;
+  cycle : Ccdb_serial.Incremental.edge list;
   message : string;
 }
 
-let make ?(severity = Error) ?event_index ?(txns = []) ?copy ~check message =
-  { severity; check; event_index; txns; copy; message }
+let make ?(severity = Error) ?event_index ?(txns = []) ?copy ?(cycle = [])
+    ~check message =
+  { severity; check; event_index; txns; copy; cycle; message }
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -40,4 +42,17 @@ let pp ppf t =
    | txns ->
      Format.fprintf ppf " {%s}"
        (String.concat "," (List.map (Printf.sprintf "t%d") txns)));
-  Format.fprintf ppf "  %s" t.message
+  Format.fprintf ppf "  %s" t.message;
+  match t.cycle with
+  | [] -> ()
+  | edges ->
+    Format.fprintf ppf "@\n          witness:";
+    List.iter
+      (fun (e : Ccdb_serial.Incremental.edge) ->
+        Format.fprintf ppf " t%d -[%s>%s item%d@@s%d]->" e.src
+          (Ccdb_model.Op.to_string e.prov.from_op)
+          (Ccdb_model.Op.to_string e.prov.to_op)
+          e.prov.item e.prov.site)
+      edges;
+    Format.fprintf ppf " t%d"
+      (match edges with e :: _ -> e.src | [] -> 0)

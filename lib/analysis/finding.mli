@@ -12,6 +12,10 @@ type t = {
   event_index : int option;  (** offset into the analyzed event array *)
   txns : int list;
   copy : (int * int) option;  (** [(item, site)] when copy-local *)
+  cycle : Ccdb_serial.Incremental.edge list;
+      (** for [thm.not-serializable]: the offending transaction cycle,
+          each edge carrying the conflicting operation pair and the
+          physical copy it materialized on; empty otherwise *)
   message : string;
 }
 
@@ -20,6 +24,7 @@ val make :
   ?event_index:int ->
   ?txns:int list ->
   ?copy:int * int ->
+  ?cycle:Ccdb_serial.Incremental.edge list ->
   check:string ->
   string ->
   t

@@ -37,8 +37,14 @@ type state = {
   committed : (int, unit) Hashtbl.t;
   dropped : (int * (int * int), unit) Hashtbl.t;
       (* requests lost in a site wipe, cleared by a fresh request *)
-  mutable findings : Finding.t list;
+  mutable findings : Finding.t list; (* newest first, drained by [feed] *)
+  mutable idx : int;                 (* events fed so far *)
 }
+
+let create () =
+  { held = Hashtbl.create 64; performed = Hashtbl.create 64;
+    committed = Hashtbl.create 64; dropped = Hashtbl.create 16;
+    findings = []; idx = 0 }
 
 let add_finding st f = st.findings <- f :: st.findings
 
@@ -190,7 +196,38 @@ let on_ts_updated st ~txn ~item ~site ~revoked =
     cell := List.filter (fun h -> h.h_txn <> txn) !cell
   end
 
-let finish st n_events =
+let drain st =
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
+let feed st event =
+  let i = st.idx in
+  st.idx <- st.idx + 1;
+  (match event with
+   | Rt.Lock_granted { txn; protocol; op; item; site; mode; schedule; _ } ->
+     on_grant st i ~txn ~protocol ~op ~item ~site ~mode ~schedule
+   | Rt.Lock_transformed { txn; item; site; mode; _ } ->
+     on_transform st i ~txn ~item ~site ~mode
+   | Rt.Lock_promoted { txn; item; site; _ } ->
+     on_promote st i ~txn ~item ~site
+   | Rt.Lock_released { txn; protocol; op; item; site; aborted; _ } ->
+     on_release st i ~txn ~protocol ~op ~item ~site ~aborted
+   | Rt.Ts_updated { txn; item; site; revoked; _ } ->
+     on_ts_updated st ~txn ~item ~site ~revoked
+   | Rt.Txn_committed { txn; _ } -> Hashtbl.replace st.committed txn.id ()
+   | Rt.Lock_requested { txn; item; site; _ } ->
+     Hashtbl.remove st.dropped (txn, (item, site))
+   | Rt.Request_dropped { txn; item; site; _ } ->
+     Hashtbl.replace st.dropped (txn, (item, site)) ()
+   | Rt.Request_withdrawn _ | Rt.Deadlock_detected _
+   | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
+   | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
+   | Rt.Prepared _ | Rt.Decision_logged _
+   | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ());
+  drain st
+
+let finish_checks st n_events =
   Hashtbl.iter
     (fun copy cell ->
       List.iter
@@ -216,34 +253,13 @@ let finish st n_events =
         !cell)
     st.held
 
+let finish st =
+  finish_checks st st.idx;
+  drain st
+
 let run (events : Rt.event array) =
-  let st =
-    { held = Hashtbl.create 64; performed = Hashtbl.create 64;
-      committed = Hashtbl.create 64; dropped = Hashtbl.create 16;
-      findings = [] }
+  let st = create () in
+  let per_event =
+    Array.fold_left (fun acc e -> List.rev_append (feed st e) acc) [] events
   in
-  Array.iteri
-    (fun i event ->
-      match event with
-      | Rt.Lock_granted { txn; protocol; op; item; site; mode; schedule; _ } ->
-        on_grant st i ~txn ~protocol ~op ~item ~site ~mode ~schedule
-      | Rt.Lock_transformed { txn; item; site; mode; _ } ->
-        on_transform st i ~txn ~item ~site ~mode
-      | Rt.Lock_promoted { txn; item; site; _ } ->
-        on_promote st i ~txn ~item ~site
-      | Rt.Lock_released { txn; protocol; op; item; site; aborted; _ } ->
-        on_release st i ~txn ~protocol ~op ~item ~site ~aborted
-      | Rt.Ts_updated { txn; item; site; revoked; _ } ->
-        on_ts_updated st ~txn ~item ~site ~revoked
-      | Rt.Txn_committed { txn; _ } -> Hashtbl.replace st.committed txn.id ()
-      | Rt.Lock_requested { txn; item; site; _ } ->
-        Hashtbl.remove st.dropped (txn, (item, site))
-      | Rt.Request_dropped { txn; item; site; _ } ->
-        Hashtbl.replace st.dropped (txn, (item, site)) ()
-      | Rt.Request_withdrawn _ | Rt.Deadlock_detected _
-      | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
-      | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
-      | Rt.Prepared _ | Rt.Decision_logged _ -> ())
-    events;
-  finish st (Array.length events);
-  List.rev st.findings
+  List.rev_append per_event (finish st)

@@ -66,8 +66,11 @@ type cstate = {
 
 type state = {
   copies : (int * int, cstate) Hashtbl.t;
-  mutable findings : Finding.t list;
+  mutable findings : Finding.t list; (* newest first, drained by [feed] *)
+  mutable idx : int;                 (* events fed so far *)
 }
+
+let create () = { copies = Hashtbl.create 64; findings = []; idx = 0 }
 
 let add_finding st f = st.findings <- f :: st.findings
 
@@ -336,34 +339,40 @@ let on_ts_updated st ~txn ~ts ~copy =
     e.p_granted <- false;
     e.p_blocked <- false
 
+let feed st event =
+  let i = st.idx in
+  st.idx <- st.idx + 1;
+  (match event with
+   | Rt.Lock_requested { txn; protocol; op; item; site; origin; ts;
+                         outcome; _ } ->
+     on_request st i ~txn ~protocol ~op ~origin ~ts ~outcome
+       ~copy:(item, site)
+   | Rt.Lock_granted { ts = None; _ } -> () (* no precedence space *)
+   | Rt.Lock_granted { txn; protocol; op; item; site; mode; ts = Some ts;
+                       _ } ->
+     on_grant st i ~txn ~protocol ~op ~mode ~ts ~copy:(item, site)
+   | Rt.Lock_released { txn; op; item; site; aborted; _ } ->
+     on_release st i ~txn ~op ~aborted ~copy:(item, site)
+   | Rt.Lock_transformed { txn; item; site; _ } ->
+     on_transform st i ~txn ~copy:(item, site)
+   | Rt.Request_withdrawn { txn; item; site; _ } ->
+     on_withdrawn st ~txn ~copy:(item, site)
+   | Rt.Request_dropped { txn; item; site; _ } ->
+     (* a site wipe removes the ungranted entry exactly like a
+        withdrawal: the issuer must re-request after the crash *)
+     on_withdrawn st ~txn ~copy:(item, site)
+   | Rt.Ts_updated { txn; item; site; ts; _ } ->
+     on_ts_updated st ~txn ~ts ~copy:(item, site)
+   | Rt.Lock_promoted _ | Rt.Deadlock_detected _ | Rt.Txn_committed _
+   | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
+   | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
+   | Rt.Prepared _ | Rt.Decision_logged _
+   | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ());
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
 let run (events : Rt.event array) =
-  let st = { copies = Hashtbl.create 64; findings = [] } in
-  Array.iteri
-    (fun i event ->
-      match event with
-      | Rt.Lock_requested { txn; protocol; op; item; site; origin; ts;
-                            outcome; _ } ->
-        on_request st i ~txn ~protocol ~op ~origin ~ts ~outcome
-          ~copy:(item, site)
-      | Rt.Lock_granted { ts = None; _ } -> () (* no precedence space *)
-      | Rt.Lock_granted { txn; protocol; op; item; site; mode; ts = Some ts;
-                          _ } ->
-        on_grant st i ~txn ~protocol ~op ~mode ~ts ~copy:(item, site)
-      | Rt.Lock_released { txn; op; item; site; aborted; _ } ->
-        on_release st i ~txn ~op ~aborted ~copy:(item, site)
-      | Rt.Lock_transformed { txn; item; site; _ } ->
-        on_transform st i ~txn ~copy:(item, site)
-      | Rt.Request_withdrawn { txn; item; site; _ } ->
-        on_withdrawn st ~txn ~copy:(item, site)
-      | Rt.Request_dropped { txn; item; site; _ } ->
-        (* a site wipe removes the ungranted entry exactly like a
-           withdrawal: the issuer must re-request after the crash *)
-        on_withdrawn st ~txn ~copy:(item, site)
-      | Rt.Ts_updated { txn; item; site; ts; _ } ->
-        on_ts_updated st ~txn ~ts ~copy:(item, site)
-      | Rt.Lock_promoted _ | Rt.Deadlock_detected _ | Rt.Txn_committed _
-      | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
-      | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
-      | Rt.Prepared _ | Rt.Decision_logged _ -> ())
-    events;
-  List.rev st.findings
+  let st = create () in
+  List.rev
+    (Array.fold_left (fun acc e -> List.rev_append (feed st e) acc) [] events)

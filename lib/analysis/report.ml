@@ -7,6 +7,7 @@ let make ~events_scanned findings =
   { findings = List.stable_sort Finding.compare findings; events_scanned }
 
 let findings t = t.findings
+let events_scanned t = t.events_scanned
 
 let by_severity sev t =
   List.filter (fun (f : Finding.t) -> f.severity = sev) t.findings

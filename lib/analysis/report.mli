@@ -6,6 +6,7 @@ val make : events_scanned:int -> Finding.t list -> t
 (** Sorts findings: errors first, then by event index. *)
 
 val findings : t -> Finding.t list
+val events_scanned : t -> int
 val errors : t -> Finding.t list
 val warnings : t -> Finding.t list
 

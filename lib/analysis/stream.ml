@@ -1,0 +1,226 @@
+(* Streaming analyzer: one event-at-a-time interface over all three audits
+   plus an incremental serializability check.
+
+   The lock and precedence audits were already per-event state machines;
+   this module adds the serializability side online.  [Op_implemented]
+   events (emitted by the store at each log append) grow an incremental
+   conflict graph edge-by-edge with a reduced generation rule:
+
+   - per copy, track the last implemented writer and the readers since
+     that write;
+   - a write [w] gains edges [last_writer -> w] and, per read instance,
+     [reader -> w];
+   - a read [u] gains the edge [last_writer -> u].
+
+   Every generated edge corresponds to an adjacent conflicting pair in the
+   copy's log, and every batch edge (all conflicting pairs) follows from
+   these transitively through the write chain — so the reduced graph is
+   acyclic exactly when the full graph is.
+
+   [Reads_discarded] (basic T/O withdrawing an aborted attempt's reads)
+   removes exactly the edges attributed to those reads, tracked per
+   (transaction, copy), mirroring the batch analyzer's view of the final
+   logs.
+
+   With a catalog, the committed prefix is garbage-collected: a committed
+   transaction with all of its expected operations implemented
+   (write-all: one per copy of each write-set item; read-one: one per
+   read-set item) can never gain another in-edge and is retired from the
+   graph.  Without a catalog (hand-built traces) GC is off and the graph
+   is exact.
+
+   No serializability finding is emitted mid-run: a cycle-closing edge is
+   parked (a later discard may dissolve it) and the verdict is settled in
+   [finish] by {!Ccdb_serial.Incremental.check_deferred}, which matches
+   the batch verdict over the final logs on every trace. *)
+
+module Rt = Ccdb_protocols.Runtime
+module Inc = Ccdb_serial.Incremental
+
+type copy_state = {
+  mutable last_writer : int option;
+  readers_since : (int, int) Hashtbl.t; (* txn -> reads since last write *)
+}
+
+type ser = {
+  graph : Inc.t;
+  copies : (int * int, copy_state) Hashtbl.t;
+  read_edges : (int * (int * int), (int * int) list ref) Hashtbl.t;
+      (* (txn, copy) -> graph edge instances attributed to txn's reads
+         there: the in-edge recorded at each read and the out-edges to
+         later writes; removed together on Reads_discarded *)
+  impl_count : (int, int) Hashtbl.t;
+  expected : (int, int) Hashtbl.t; (* set at commit, from the catalog *)
+  catalog : Ccdb_storage.Catalog.t option;
+}
+
+type state = {
+  lock : Lock_audit.state;
+  prec : Precedence_audit.state;
+  thm : Theorem_audit.state;
+  ser : ser option;
+  mutable events_fed : int;
+  mutable all : Finding.t list; (* newest first; everything [feed] returned *)
+}
+
+let create ?(theorem2 = true) ?catalog () =
+  { lock = Lock_audit.create ();
+    prec = Precedence_audit.create ();
+    thm = Theorem_audit.create ();
+    ser =
+      (if theorem2 then
+         Some
+           { graph = Inc.create (); copies = Hashtbl.create 128;
+             read_edges = Hashtbl.create 128; impl_count = Hashtbl.create 128;
+             expected = Hashtbl.create 128; catalog }
+       else None);
+    events_fed = 0;
+    all = [] }
+
+let copy_state s c =
+  match Hashtbl.find_opt s.copies c with
+  | Some cs -> cs
+  | None ->
+    let cs = { last_writer = None; readers_since = Hashtbl.create 4 } in
+    Hashtbl.add s.copies c cs;
+    cs
+
+let record_read_edge s txn c e =
+  match Hashtbl.find_opt s.read_edges (txn, c) with
+  | Some r -> r := e :: !r
+  | None -> Hashtbl.add s.read_edges (txn, c) (ref [ e ])
+
+let bump_impl s txn delta =
+  let v =
+    match Hashtbl.find_opt s.impl_count txn with Some v -> v | None -> 0
+  in
+  Hashtbl.replace s.impl_count txn (v + delta)
+
+let maybe_retire s txn =
+  match Hashtbl.find_opt s.expected txn with
+  | None -> () (* not committed yet, or GC off (no catalog) *)
+  | Some expected ->
+    let implemented =
+      match Hashtbl.find_opt s.impl_count txn with Some v -> v | None -> 0
+    in
+    if implemented >= expected then Inc.retire s.graph txn
+
+let ser_feed s (event : Rt.event) =
+  match event with
+  | Rt.Op_implemented { txn; op; item; site; _ } ->
+    let c = (item, site) in
+    let cs = copy_state s c in
+    (match op with
+     | Ccdb_model.Op.Read ->
+       (match cs.last_writer with
+        | Some lw when lw <> txn ->
+          ignore
+            (Inc.add_edge s.graph ~src:lw ~dst:txn
+               ~prov:
+                 { Inc.item; site; from_op = Ccdb_model.Op.Write;
+                   to_op = Ccdb_model.Op.Read });
+          record_read_edge s txn c (lw, txn)
+        | Some _ | None -> ());
+       let reads =
+         match Hashtbl.find_opt cs.readers_since txn with
+         | Some n -> n
+         | None -> 0
+       in
+       Hashtbl.replace cs.readers_since txn (reads + 1)
+     | Ccdb_model.Op.Write ->
+       (match cs.last_writer with
+        | Some lw when lw <> txn ->
+          ignore
+            (Inc.add_edge s.graph ~src:lw ~dst:txn
+               ~prov:
+                 { Inc.item; site; from_op = Ccdb_model.Op.Write;
+                   to_op = Ccdb_model.Op.Write })
+        | Some _ | None -> ());
+       Hashtbl.iter
+         (fun u count ->
+           if u <> txn then
+             for _ = 1 to count do
+               ignore
+                 (Inc.add_edge s.graph ~src:u ~dst:txn
+                    ~prov:
+                      { Inc.item; site; from_op = Ccdb_model.Op.Read;
+                        to_op = Ccdb_model.Op.Write });
+               record_read_edge s u c (u, txn)
+             done)
+         cs.readers_since;
+       Hashtbl.reset cs.readers_since;
+       cs.last_writer <- Some txn);
+    bump_impl s txn 1;
+    maybe_retire s txn
+  | Rt.Reads_discarded { txn; item; site; removed; _ } ->
+    let c = (item, site) in
+    (match Hashtbl.find_opt s.read_edges (txn, c) with
+     | Some r ->
+       List.iter (fun (src, dst) -> Inc.remove_edge s.graph ~src ~dst) !r;
+       Hashtbl.remove s.read_edges (txn, c)
+     | None -> ());
+    (match Hashtbl.find_opt s.copies c with
+     | Some cs -> Hashtbl.remove cs.readers_since txn
+     | None -> ());
+    bump_impl s txn (-removed);
+    maybe_retire s txn
+  | Rt.Txn_committed { txn; _ } -> (
+    match s.catalog with
+    | None -> ()
+    | Some catalog ->
+      let expected =
+        List.fold_left
+          (fun acc item ->
+            acc + List.length (Ccdb_storage.Catalog.copies catalog item))
+          (List.length txn.read_set) txn.write_set
+      in
+      Hashtbl.replace s.expected txn.id expected;
+      maybe_retire s txn.id)
+  | _ -> ()
+
+let feed st event =
+  st.events_fed <- st.events_fed + 1;
+  let fs =
+    Lock_audit.feed st.lock event
+    @ Precedence_audit.feed st.prec event
+    @ Theorem_audit.feed st.thm event
+  in
+  (match st.ser with Some s -> ser_feed s event | None -> ());
+  st.all <- List.rev_append fs st.all;
+  (st, fs)
+
+let finish ?store st =
+  let serializability =
+    Option.map (fun s () -> Inc.check_deferred s.graph) st.ser
+  in
+  let fs =
+    Lock_audit.finish st.lock @ Theorem_audit.finish ?store ?serializability st.thm
+  in
+  st.all <- List.rev_append fs st.all;
+  fs
+
+let report ?store st =
+  ignore (finish ?store st);
+  Report.make ~events_scanned:st.events_fed (List.rev st.all)
+
+type stats = {
+  events_fed : int;
+  live_nodes : int;
+  live_edges : int;
+  collected_nodes : int;
+  deferred_edges : int;
+  graph_work : int;
+}
+
+let stats st =
+  match st.ser with
+  | None ->
+    { events_fed = st.events_fed; live_nodes = 0; live_edges = 0;
+      collected_nodes = 0; deferred_edges = 0; graph_work = 0 }
+  | Some s ->
+    { events_fed = st.events_fed;
+      live_nodes = Inc.live_nodes s.graph;
+      live_edges = Inc.live_edges s.graph;
+      collected_nodes = Inc.collected s.graph;
+      deferred_edges = Inc.deferred_edges s.graph;
+      graph_work = Inc.work s.graph }

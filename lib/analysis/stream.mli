@@ -1,0 +1,47 @@
+(** Streaming analyzer: all three audits plus an incremental Theorem 2
+    check, advanced one event at a time while the simulation runs.
+
+    Subscribe [feed] to the runtime's event stream (or fold it over a
+    recorded trace) and call [finish]/[report] once at end of run.  The
+    serializability side consumes the {!Ccdb_protocols.Runtime.event.Op_implemented}
+    / [Reads_discarded] events the store emits, maintaining a
+    Pearce–Kelly incremental conflict graph whose verdict matches the
+    batch analyzer ({!Analyzer.analyze}) on every trace; with [catalog]
+    the committed prefix of the graph is garbage-collected so memory
+    tracks the in-flight window, not the trace length. *)
+
+type state
+
+val create :
+  ?theorem2:bool -> ?catalog:Ccdb_storage.Catalog.t -> unit -> state
+(** [theorem2] (default [true]) enables the incremental conflict graph;
+    pass [false] for systems whose store is not a write-all log (MVTO),
+    mirroring the batch analyzer being run without a store.  [catalog]
+    enables committed-prefix GC; omit it for hand-built traces whose
+    events may not line up with any catalog. *)
+
+val feed : state -> Ccdb_protocols.Runtime.event -> state * Finding.t list
+(** Advances every audit by one event; returns the findings that event
+    triggered (flat per-event cost).  The returned state is the argument
+    (state is mutable); the pair form makes the fold explicit. *)
+
+val finish : ?store:Ccdb_storage.Store.t -> state -> Finding.t list
+(** End-of-trace findings: leaked locks, 2PC atomicity and — when [store]
+    is given, as for the batch analyzer — the Theorem 2 serializability
+    verdict (from the incremental graph, not a log scan), replica
+    convergence and durability.  Call once. *)
+
+val report : ?store:Ccdb_storage.Store.t -> state -> Report.t
+(** [finish] plus everything [feed] returned, as a sorted report
+    comparable to {!Analyzer.analyze}'s.  Call once. *)
+
+type stats = {
+  events_fed : int;
+  live_nodes : int;       (** conflict-graph nodes not yet collected *)
+  live_edges : int;       (** distinct live edges *)
+  collected_nodes : int;  (** retired and garbage-collected transactions *)
+  deferred_edges : int;   (** parked cycle-closing edges *)
+  graph_work : int;       (** {!Ccdb_serial.Incremental.work} *)
+}
+
+val stats : state -> stats

@@ -9,7 +9,9 @@
      back-off instead) and is never chosen as a deadlock victim.
    - Theorem 2: when the final store is supplied, the per-copy
      implementation logs must be conflict-serializable and the replicas of
-     every item must converge.
+     every item must converge.  The serializability verdict can be taken
+     from a caller-maintained incremental conflict graph
+     ([~serializability]) instead of the quadratic log scan.
    - Durability (fail-stop extension): every committed transaction's write
      reaches the implementation log of every catalog copy — unless the
      Thomas Write Rule legally dropped it — even across crashes and WAL
@@ -20,115 +22,126 @@ module Rt = Ccdb_protocols.Runtime
 
 let protocol_name = Ccdb_model.Protocol.to_string
 
-let run ?store (events : Rt.event array) =
-  let findings = ref [] in
-  let add f = findings := f :: !findings in
+type state = {
   (* latest known protocol per transaction (re-selection may change it
      between attempts) *)
-  let protocol_of : (int, Ccdb_model.Protocol.t) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let is_pa txn =
-    match Hashtbl.find_opt protocol_of txn with
-    | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Pa
-    | None -> false
-  in
-  let is_two_pl txn =
-    match Hashtbl.find_opt protocol_of txn with
-    | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Two_pl
-    | None -> false
-  in
+  protocol_of : (int, Ccdb_model.Protocol.t) Hashtbl.t;
   (* durability bookkeeping *)
-  let committed_txns : (int, Ccdb_model.Txn.t) Hashtbl.t = Hashtbl.create 64 in
-  let twr_dropped : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  committed_txns : (int, Ccdb_model.Txn.t) Hashtbl.t;
+  twr_dropped : (int * int * int, unit) Hashtbl.t;
   (* terminal 2PC decision per (txn, site): commits are final, an abort may
      be superseded by a later round's commit *)
-  let last_decision : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
-  Array.iteri
-    (fun i event ->
-      match event with
-      | Rt.Lock_requested { txn; protocol; item; site; outcome; _ } ->
-        Hashtbl.replace protocol_of txn protocol;
-        (match outcome with
-         | Rt.Req_ignored -> Hashtbl.replace twr_dropped (txn, item, site) ()
-         | Rt.Req_admitted | Rt.Req_rejected | Rt.Req_backoff _ -> ())
-      | Rt.Lock_granted { txn; protocol; _ } ->
-        Hashtbl.replace protocol_of txn protocol
-      | Rt.Txn_restarted { txn; reason; _ } ->
-        Hashtbl.replace protocol_of txn.id txn.protocol;
-        if Ccdb_model.Protocol.equal txn.protocol Ccdb_model.Protocol.Pa
-        then
-          add
-            (Finding.make ~event_index:i ~txns:[ txn.id ]
-               ~check:"thm.pa-restarted"
-               (Printf.sprintf
-                  "PA transaction t%d restarted (%s): contradicts \
-                   Corollary 1 (PA is restart-free)"
-                  txn.id
-                  (match reason with
-                   | Rt.To_rejected _ -> "rejection"
-                   | Rt.Deadlock_victim -> "deadlock victim"
-                   | Rt.Prevention_kill -> "prevention kill"
-                   | Rt.Site_failure -> "site failure")))
-      | Rt.Txn_committed { txn; _ } ->
-        Hashtbl.replace protocol_of txn.id txn.protocol;
-        Hashtbl.replace committed_txns txn.id txn
-      | Rt.Decision_logged { txn; site; commit; _ } ->
-        if not (Hashtbl.find_opt last_decision (txn, site) = Some true) then
-          Hashtbl.replace last_decision (txn, site) commit
-      | Rt.Deadlock_detected { cycle; victim; _ } -> (
-        match victim with
-        | None ->
-          add
-            (Finding.make ~severity:Finding.Info ~event_index:i ~txns:cycle
-               ~check:"thm.cycle-no-victim"
-               "detector snapshot offered no victim (phantom or already \
-                breaking)")
-        | Some v ->
-          if not (is_two_pl v) then
-            add
-              (Finding.make ~event_index:i ~txns:[ v ]
-                 ~check:"thm.victim-not-2pl"
-                 (Printf.sprintf
-                    "deadlock victim t%d is %s, not 2PL (Corollary 2)" v
-                    (match Hashtbl.find_opt protocol_of v with
-                     | Some p -> protocol_name p
-                     | None -> "unknown")));
-          if List.length cycle > 1 && not (List.exists is_two_pl cycle)
-          then
-            add
-              (Finding.make ~event_index:i ~txns:cycle
-                 ~check:"thm.cycle-without-2pl"
-                 "deadlock cycle contains no 2PL transaction \
-                  (contradicts Theorem 3 / Corollary 2)");
-          if is_pa v then
-            add
-              (Finding.make ~event_index:i ~txns:[ v ]
-                 ~check:"thm.pa-victim"
-                 (Printf.sprintf
-                    "PA transaction t%d aborted for deadlock: contradicts \
-                     Corollary 1"
-                    v))
-          else
-            (* a PA member of a mixed cycle is legitimate: Theorem 3 only
-               promises the cycle has a 2PL member to victimize, and the PA
-               transaction merely waits while the 2PL victim is aborted *)
-            List.iter
-              (fun m ->
-                if is_pa m then
-                  add
-                    (Finding.make ~severity:Finding.Info ~event_index:i
-                       ~txns:[ m ] ~check:"thm.pa-in-cycle"
-                       (Printf.sprintf
-                          "PA transaction t%d waits in a mixed deadlock \
-                           cycle (broken by a 2PL victim)"
-                          m)))
-              cycle)
-      | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
-      | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _
-      | Rt.Site_crashed _ | Rt.Site_recovered _ | Rt.Request_dropped _
-      | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _ -> ())
-    events;
+  last_decision : (int * int, bool) Hashtbl.t;
+  mutable findings : Finding.t list; (* newest first, drained by [feed] *)
+  mutable idx : int;
+}
+
+let create () =
+  { protocol_of = Hashtbl.create 64; committed_txns = Hashtbl.create 64;
+    twr_dropped = Hashtbl.create 16; last_decision = Hashtbl.create 64;
+    findings = []; idx = 0 }
+
+let add st f = st.findings <- f :: st.findings
+
+let is_pa st txn =
+  match Hashtbl.find_opt st.protocol_of txn with
+  | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Pa
+  | None -> false
+
+let is_two_pl st txn =
+  match Hashtbl.find_opt st.protocol_of txn with
+  | Some p -> Ccdb_model.Protocol.equal p Ccdb_model.Protocol.Two_pl
+  | None -> false
+
+let feed st event =
+  let i = st.idx in
+  st.idx <- st.idx + 1;
+  (match event with
+   | Rt.Lock_requested { txn; protocol; item; site; outcome; _ } ->
+     Hashtbl.replace st.protocol_of txn protocol;
+     (match outcome with
+      | Rt.Req_ignored -> Hashtbl.replace st.twr_dropped (txn, item, site) ()
+      | Rt.Req_admitted | Rt.Req_rejected | Rt.Req_backoff _ -> ())
+   | Rt.Lock_granted { txn; protocol; _ } ->
+     Hashtbl.replace st.protocol_of txn protocol
+   | Rt.Txn_restarted { txn; reason; _ } ->
+     Hashtbl.replace st.protocol_of txn.id txn.protocol;
+     if Ccdb_model.Protocol.equal txn.protocol Ccdb_model.Protocol.Pa then
+       add st
+         (Finding.make ~event_index:i ~txns:[ txn.id ]
+            ~check:"thm.pa-restarted"
+            (Printf.sprintf
+               "PA transaction t%d restarted (%s): contradicts Corollary 1 \
+                (PA is restart-free)"
+               txn.id
+               (match reason with
+                | Rt.To_rejected _ -> "rejection"
+                | Rt.Deadlock_victim -> "deadlock victim"
+                | Rt.Prevention_kill -> "prevention kill"
+                | Rt.Site_failure -> "site failure")))
+   | Rt.Txn_committed { txn; _ } ->
+     Hashtbl.replace st.protocol_of txn.id txn.protocol;
+     Hashtbl.replace st.committed_txns txn.id txn
+   | Rt.Decision_logged { txn; site; commit; _ } ->
+     if not (Hashtbl.find_opt st.last_decision (txn, site) = Some true) then
+       Hashtbl.replace st.last_decision (txn, site) commit
+   | Rt.Deadlock_detected { cycle; victim; _ } -> (
+     match victim with
+     | None ->
+       add st
+         (Finding.make ~severity:Finding.Info ~event_index:i ~txns:cycle
+            ~check:"thm.cycle-no-victim"
+            "detector snapshot offered no victim (phantom or already \
+             breaking)")
+     | Some v ->
+       if not (is_two_pl st v) then
+         add st
+           (Finding.make ~event_index:i ~txns:[ v ]
+              ~check:"thm.victim-not-2pl"
+              (Printf.sprintf
+                 "deadlock victim t%d is %s, not 2PL (Corollary 2)" v
+                 (match Hashtbl.find_opt st.protocol_of v with
+                  | Some p -> protocol_name p
+                  | None -> "unknown")));
+       if List.length cycle > 1 && not (List.exists (is_two_pl st) cycle)
+       then
+         add st
+           (Finding.make ~event_index:i ~txns:cycle
+              ~check:"thm.cycle-without-2pl"
+              "deadlock cycle contains no 2PL transaction (contradicts \
+               Theorem 3 / Corollary 2)");
+       if is_pa st v then
+         add st
+           (Finding.make ~event_index:i ~txns:[ v ] ~check:"thm.pa-victim"
+              (Printf.sprintf
+                 "PA transaction t%d aborted for deadlock: contradicts \
+                  Corollary 1"
+                 v))
+       else
+         (* a PA member of a mixed cycle is legitimate: Theorem 3 only
+            promises the cycle has a 2PL member to victimize, and the PA
+            transaction merely waits while the 2PL victim is aborted *)
+         List.iter
+           (fun m ->
+             if is_pa st m then
+               add st
+                 (Finding.make ~severity:Finding.Info ~event_index:i
+                    ~txns:[ m ] ~check:"thm.pa-in-cycle"
+                    (Printf.sprintf
+                       "PA transaction t%d waits in a mixed deadlock cycle \
+                        (broken by a 2PL victim)"
+                       m)))
+           cycle)
+   | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
+   | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Pa_backoff _
+   | Rt.Site_crashed _ | Rt.Site_recovered _ | Rt.Request_dropped _
+   | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _
+   | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ());
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
+let finish ?store ?serializability st =
   (* 2PC atomicity: a transaction's terminal decisions must agree.  Commits
      are sticky per (txn, site); an abort only counts as terminal when no
      later round committed the transaction at that site. *)
@@ -140,16 +153,16 @@ let run ?store (events : Rt.event array) =
       match Hashtbl.find_opt decisions_of txn with
       | Some r -> r := (site, commit) :: !r
       | None -> Hashtbl.add decisions_of txn (ref [ (site, commit) ]))
-    last_decision;
+    st.last_decision;
   Hashtbl.iter
     (fun txn r ->
-      let committed_at = List.filter_map
-          (fun (s, c) -> if c then Some s else None) !r
-      and aborted_at = List.filter_map
-          (fun (s, c) -> if not c then Some s else None) !r
+      let committed_at =
+        List.filter_map (fun (s, c) -> if c then Some s else None) !r
+      and aborted_at =
+        List.filter_map (fun (s, c) -> if not c then Some s else None) !r
       in
       if committed_at <> [] && aborted_at <> [] then
-        add
+        add st
           (Finding.make ~txns:[ txn ] ~check:"thm.partial-commit"
              (Printf.sprintf
                 "t%d committed at site%s %s but its last decision at site%s \
@@ -165,18 +178,29 @@ let run ?store (events : Rt.event array) =
   (match store with
    | None -> ()
    | Some store ->
-     let logs = Ccdb_storage.Store.logs store in
-     if not (Ccdb_serial.Check.conflict_serializable logs) then
-       add
-         (Finding.make
-            ~txns:
-              (Option.value ~default:[]
-                 (Ccdb_serial.Check.violation_witness logs))
-            ~check:"thm.not-serializable"
-            "implementation logs are not conflict-serializable \
-             (contradicts Theorem 2)");
+     let witness =
+       match serializability with
+       | Some verdict -> verdict ()
+       | None -> (
+         let logs = Ccdb_storage.Store.logs store in
+         match Ccdb_serial.Check.violation_witness logs with
+         | None -> None
+         | Some cycle -> Some (Ccdb_serial.Check.witness_detail logs cycle))
+     in
+     (match witness with
+      | None -> ()
+      | Some edges ->
+        add st
+          (Finding.make
+             ~txns:
+               (List.map
+                  (fun (e : Ccdb_serial.Incremental.edge) -> e.src)
+                  edges)
+             ~cycle:edges ~check:"thm.not-serializable"
+             "implementation logs are not conflict-serializable \
+              (contradicts Theorem 2)"));
      if not (Ccdb_serial.Check.replica_consistent store) then
-       add
+       add st
          (Finding.make ~check:"thm.replica-divergence"
             "replicas of at least one item diverge (contradicts \
              read-one/write-all under Theorem 2)");
@@ -189,7 +213,7 @@ let run ?store (events : Rt.event array) =
            (fun item ->
              List.iter
                (fun site ->
-                 if not (Hashtbl.mem twr_dropped (id, item, site)) then
+                 if not (Hashtbl.mem st.twr_dropped (id, item, site)) then
                    let implemented =
                      List.exists
                        (fun (e : Ccdb_storage.Store.log_entry) ->
@@ -198,7 +222,7 @@ let run ?store (events : Rt.event array) =
                        (Ccdb_storage.Store.log store ~item ~site)
                    in
                    if not implemented then
-                     add
+                     add st
                        (Finding.make ~txns:[ id ] ~copy:(item, site)
                           ~check:"thm.durability-lost"
                           (Printf.sprintf
@@ -207,5 +231,14 @@ let run ?store (events : Rt.event array) =
                              id item site)))
                (Ccdb_storage.Catalog.copies catalog item))
            txn.write_set)
-       committed_txns);
-  List.rev !findings
+       st.committed_txns);
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
+let run ?store (events : Rt.event array) =
+  let st = create () in
+  let per_event =
+    Array.fold_left (fun acc e -> List.rev_append (feed st e) acc) [] events
+  in
+  List.rev_append per_event (finish ?store st)

@@ -1,7 +1,29 @@
 (** Theorem auditor: Corollary 2 (every deadlock cycle contains — and every
     victim is — a 2PL transaction), Corollary 1 (PA transactions are never
     restarted nor picked as victims), and, when the final store is given,
-    Theorem 2 (conflict-serializable logs, convergent replicas). *)
+    Theorem 2 (conflict-serializable logs, convergent replicas) plus the
+    fail-stop durability and 2PC-atomicity checks.
+
+    Event-at-a-time: [create] / [feed] / [finish]; [run] is the batch
+    fold. *)
+
+type state
+
+val create : unit -> state
+
+val feed : state -> Ccdb_protocols.Runtime.event -> Finding.t list
+(** Advances the audit by one event; returns the findings it triggered. *)
+
+val finish :
+  ?store:Ccdb_storage.Store.t ->
+  ?serializability:(unit -> Ccdb_serial.Incremental.edge list option) ->
+  state ->
+  Finding.t list
+(** End-of-trace checks (2PC atomicity and, with [store], Theorem 2 +
+    durability).  When [serializability] is given it supplies the
+    conflict-serializability verdict — [Some cycle] when violated — in
+    place of the batch scan of the store's logs (the streaming analyzer
+    passes its incremental graph's verdict here). *)
 
 val run :
   ?store:Ccdb_storage.Store.t ->

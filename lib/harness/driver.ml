@@ -39,6 +39,8 @@ let mode_name = function
   | Mvto -> "pure-mvto"
   | Conservative -> "pure-cto"
 
+type audit_path = Batch | Streaming | Differential
+
 type result = {
   summary : Metrics.summary;
   runtime : Rt.t;
@@ -172,7 +174,7 @@ let build_system ~(setup : setup) mode rt =
       decisions = decisions_of_tally }
 
 let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
-    ?faults ?retry ?replay_cost mode spec =
+    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode spec =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
@@ -183,7 +185,23 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
       ~restart_cap:setup.restart_cap ~net_config:net ~catalog ()
   in
   (match observer with Some f -> f rt | None -> ());
-  let trace = if audit then Some (Trace.attach rt) else None in
+  (* MVTO keeps the physical store as a per-copy newest-version cache, not
+     a write-all log, so the single-version store checks do not apply (its
+     executions are verified by [Mvto_system.verify]). *)
+  let theorem2 = match mode with Mvto -> false | _ -> true in
+  let trace =
+    match audit, audit_path with
+    | false, _ | true, Streaming -> None
+    | true, (Batch | Differential) -> Some (Trace.attach rt)
+  in
+  let stream =
+    match audit, audit_path with
+    | false, _ | true, Batch -> None
+    | true, (Streaming | Differential) ->
+      let st = Ccdb_analysis.Stream.create ~theorem2 ~catalog () in
+      Rt.subscribe rt (fun e -> ignore (Ccdb_analysis.Stream.feed st e));
+      Some st
+  in
   let system = build_system ~setup mode rt in
   let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
   let generator =
@@ -198,15 +216,34 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
              system.submit txn)))
     arrivals;
   Rt.quiesce ~max_events:50_000_000 rt;
-  let audit =
+  let store = if theorem2 then Some (Rt.store rt) else None in
+  let batch_report =
     Option.map
-      (fun tr ->
-        (* MVTO keeps the physical store as a per-copy newest-version cache,
-           not a write-all log, so the single-version store checks do not
-           apply (its executions are verified by [Mvto_system.verify]). *)
-        let store = match mode with Mvto -> None | _ -> Some (Rt.store rt) in
-        Ccdb_analysis.Analyzer.analyze ?store (Trace.to_array tr))
+      (fun tr -> Ccdb_analysis.Analyzer.analyze ?store (Trace.to_array tr))
       trace
+  in
+  let stream_report =
+    Option.map (fun st -> Ccdb_analysis.Stream.report ?store st) stream
+  in
+  let audit =
+    match batch_report, stream_report with
+    | None, None -> None
+    | Some r, None | None, Some r -> Some r
+    | Some batch, Some streamed ->
+      (* differential gate: any batch/stream disagreement is itself an
+         error finding, so is_clean machinery (tests, CLI exit codes)
+         fails on divergence *)
+      let divergences = Ccdb_analysis.Analyzer.diff ~batch ~stream:streamed in
+      if divergences = [] then Some streamed
+      else
+        Some
+          (Ccdb_analysis.Report.make
+             ~events_scanned:(Ccdb_analysis.Report.events_scanned streamed)
+             (Ccdb_analysis.Report.findings streamed
+             @ List.map
+                 (fun msg ->
+                   Ccdb_analysis.Finding.make ~check:"audit.divergence" msg)
+                 divergences))
   in
   { summary = Metrics.summarize rt; runtime = rt;
     decisions = system.decisions (); audit }

@@ -51,6 +51,18 @@ type mode =
 
 val mode_name : mode -> string
 
+(** How [run ~audit:true] computes its report. *)
+type audit_path =
+  | Batch
+      (** record the full trace, replay it through the batch analyzer
+          after the run (the executable specification) *)
+  | Streaming
+      (** feed {!Ccdb_analysis.Stream} inline during the run — no trace
+          retained, flat per-event cost; the default *)
+  | Differential
+      (** both; any disagreement is reported as an [audit.divergence]
+          error finding (used by the lint gates and the mode oracle) *)
+
 type result = {
   summary : Metrics.summary;
   runtime : Ccdb_protocols.Runtime.t;
@@ -65,6 +77,7 @@ val run :
   ?n_txns:int ->
   ?observer:(Ccdb_protocols.Runtime.t -> unit) ->
   ?audit:bool ->
+  ?audit_path:audit_path ->
   ?faults:Ccdb_sim.Fault_plan.t ->
   ?retry:Ccdb_sim.Net.retry ->
   ?replay_cost:float ->

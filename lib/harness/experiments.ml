@@ -1273,13 +1273,117 @@ let e12_staged ~quick =
 
 let e12_crash_recovery ?(quick = false) () = run_one (e12_staged ~quick)
 
+(* ---------------------------------------------------------------- E13 -- *)
+
+let e13_staged ~quick =
+  (* Audit cost vs trace length.  Both costs are deterministic operation
+     counters, never wall-clock, so the table is byte-identical at any
+     --jobs: the batch Theorem-2 check scans every ordered pair of entries
+     within each copy log (sum of len*(len-1)/2), while the streaming
+     analyzer's cost is the incremental graph's step counter
+     ({!Ccdb_serial.Incremental.work}) over the same events. *)
+  let counts = if quick then [ 40; 120 ] else [ 50; 100; 200; 400 ] in
+  let spec =
+    { base_spec with
+      arrival_rate = 0.1;
+      protocol_mix =
+        [ (Ccdb_model.Protocol.Two_pl, 1.); (Ccdb_model.Protocol.T_o, 1.);
+          (Ccdb_model.Protocol.Pa, 1.) ] }
+  in
+  let point n () =
+    let tr = ref None in
+    let r =
+      D.run ~setup:base_setup ~n_txns:n
+        ~observer:(fun rt -> tr := Some (Trace.attach rt))
+        D.Unified spec
+    in
+    let events = Trace.to_array (Option.get !tr) in
+    let logs =
+      Ccdb_storage.Store.logs (Ccdb_protocols.Runtime.store r.D.runtime)
+    in
+    let batch_pairs =
+      List.fold_left
+        (fun acc (_, l) ->
+          let k = List.length l in
+          acc + (k * (k - 1) / 2))
+        0 logs
+    in
+    let catalog =
+      Ccdb_storage.Catalog.create ~items:base_setup.items
+        ~sites:base_setup.sites ~replication:base_setup.replication
+    in
+    let st = Ccdb_analysis.Stream.create ~catalog () in
+    Array.iter (fun e -> ignore (Ccdb_analysis.Stream.feed st e)) events;
+    (n, Array.length events, batch_pairs, Ccdb_analysis.Stream.stats st)
+  in
+  let assemble rows =
+    let table =
+      T.create
+        ~columns:
+          [ ("txns", T.Right); ("events", T.Right); ("batch pairs", T.Right);
+            ("pairs/event", T.Right); ("stream work", T.Right);
+            ("work/event", T.Right); ("live nodes", T.Right);
+            ("collected", T.Right) ]
+    in
+    let per_event rows_done =
+      List.map
+        (fun (_, events, batch_pairs, (st : Ccdb_analysis.Stream.stats)) ->
+          ( float_of_int batch_pairs /. float_of_int events,
+            float_of_int st.graph_work /. float_of_int events ))
+        rows_done
+    in
+    List.iter
+      (fun (n, events, batch_pairs, (st : Ccdb_analysis.Stream.stats)) ->
+        T.add_row table
+          [ string_of_int n; string_of_int events; string_of_int batch_pairs;
+            f ~decimals:2 (float_of_int batch_pairs /. float_of_int events);
+            string_of_int st.graph_work;
+            f ~decimals:2 (float_of_int st.graph_work /. float_of_int events);
+            string_of_int st.live_nodes; string_of_int st.collected_nodes ])
+      rows;
+    let verdict =
+      match per_event rows with
+      | (b0, s0) :: (_ :: _ as rest) ->
+        let bn, sn = List.hd (List.rev rest) in
+        Printf.sprintf
+          "measured: batch pairs/event grew %.1fx from the shortest to the \
+           longest trace while streaming work/event changed %.1fx — the \
+           batch check re-pays the whole history, the streaming check pays \
+           only the in-flight window"
+          (bn /. b0) (sn /. s0)
+      | _ -> "single point"
+    in
+    { id = "E13";
+      title = "Audit cost vs trace length (batch replay vs streaming)";
+      claim =
+        "the batch serializability check scans every ordered pair within \
+         each copy log, so its cost per event grows linearly with trace \
+         length; the streaming analyzer's incremental-graph work stays \
+         flat per event and its live graph is bounded by the in-flight \
+         window (committed-prefix GC), not by the trace";
+      table;
+      notes =
+        [ verdict;
+          "costs are deterministic operation counters (log pairs scanned \
+           vs incremental-graph steps), never wall-clock, so the table is \
+           byte-identical at any --jobs";
+          "'collected' counts committed transactions garbage-collected out \
+           of the live graph; both paths' verdicts agree on every trace \
+           (enforced by the differential lint gate and \
+           test/test_analysis.ml)" ] }
+  in
+  Staged { points = List.map point counts; assemble }
+
+let e13_audit_cost ?(quick = false) () = run_one (e13_staged ~quick)
+
 (* --------------------------------------------------------------- all --- *)
 
 let staged ?(quick = false) () =
   [ e1_staged ~quick; e2_staged ~quick; e3_staged ~quick; e4_staged ~quick;
     e5_staged ~quick; e6_staged ~quick; e7_staged ~quick; e8_staged ~quick;
     e9_staged ~quick; e10_staged ~quick; e11_staged ~quick;
-    e12_staged ~quick; x1_staged ~quick; x2_staged ~quick; x3_staged ~quick;
+    e12_staged ~quick; e13_staged ~quick;
+    x1_staged ~quick; x2_staged ~quick; x3_staged ~quick;
     x4_staged ~quick; x5_staged ~quick; x6_staged ~quick; x7_staged ~quick ]
 
 let serial_runner tasks = List.iter (fun f -> f ()) tasks

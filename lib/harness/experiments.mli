@@ -7,7 +7,7 @@
     inside the test suite; the benchmark binary runs full size. *)
 
 type outcome = {
-  id : string;                 (** "E1" ... "E12", "X1" ... *)
+  id : string;                 (** "E1" ... "E13", "X1" ... *)
   title : string;
   claim : string;              (** the paper's claim, quoted/paraphrased *)
   table : Ccdb_util.Table.t;
@@ -54,6 +54,12 @@ val e12_crash_recovery : ?quick:bool -> unit -> outcome
     counts and replay time vs number of crash windows (DESIGN.md
     section 11). *)
 
+val e13_audit_cost : ?quick:bool -> unit -> outcome
+(** Audit cost vs trace length: the batch Theorem-2 check's log-pair scans
+    grow with the trace while the streaming analyzer's incremental-graph
+    work stays flat per event (deterministic counters, never wall-clock;
+    DESIGN.md section 12). *)
+
 (** {2 Extension experiments}
 
     X-experiments go beyond the paper's explicit claims but stay inside its
@@ -97,7 +103,7 @@ type staged
 (** One experiment, decomposed but not yet run. *)
 
 val staged : ?quick:bool -> unit -> staged list
-(** Every experiment in order (E1-E12 then X1-X7), decomposed. *)
+(** Every experiment in order (E1-E13 then X1-X7), decomposed. *)
 
 val points_count : staged -> int
 (** Number of independent points the experiment fans out. *)
@@ -112,7 +118,7 @@ val run_one : staged -> outcome
 (** Runs the points serially, in order, and assembles. *)
 
 val all : ?quick:bool -> ?runner:((unit -> unit) list -> unit) -> unit -> outcome list
-(** Every experiment in order (E1-E12 then X1-X7).  [runner] receives the
+(** Every experiment in order (E1-E13 then X1-X7).  [runner] receives the
     flattened point tasks of all experiments and must run each exactly once
     (default: serially, in order); outcomes are assembled in experiment
     order afterwards regardless of how the runner scheduled the tasks. *)

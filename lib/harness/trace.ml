@@ -119,6 +119,13 @@ let pp_event ppf (e : Rt.event) =
     Format.fprintf ppf "%8.1f  decide   t%d@@s%d round %d -> %s" at txn site
       round
       (if commit then "commit" else "abort")
+  | Rt.Op_implemented { txn; op; item; site; at } ->
+    Format.fprintf ppf "%8.1f  impl     t%d %a(item%d@@s%d)" at txn
+      Ccdb_model.Op.pp op item site
+  | Rt.Reads_discarded { txn; item; site; removed; at } ->
+    Format.fprintf ppf "%8.1f  unread   t%d (item%d@@s%d) %d read%s withdrawn"
+      at txn item site removed
+      (if removed = 1 then "" else "s")
 
 let render ?limit t =
   (* [events] is newest-first, so the [limit] most recent are its prefix:

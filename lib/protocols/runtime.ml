@@ -143,6 +143,24 @@ type event =
       commit : bool;
       at : float;
     }
+  | Op_implemented of {
+      (* a physical operation landed in a copy's implementation log; mirrors
+         Store.on_append so streaming audits see the log grow in-line *)
+      txn : int;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      at : float;
+    }
+  | Reads_discarded of {
+      (* Store.discard_reads withdrew [removed] read entries of [txn] from
+         the copy's log (basic T/O restart after an elsewhere-rejection) *)
+      txn : int;
+      item : int;
+      site : int;
+      removed : int;
+      at : float;
+    }
 
 type completion = {
   txn : Ccdb_model.Txn.t;
@@ -263,7 +281,8 @@ let emit t event =
    | Site_wiped { dropped; _ } ->
      t.counters.wiped_entries <- t.counters.wiped_entries + dropped
    | Deadlock_detected _ | Site_crashed _ | Site_recovered _
-   | Request_dropped _ | Wal_replayed _ -> ());
+   | Request_dropped _ | Wal_replayed _
+   | Op_implemented _ | Reads_discarded _ -> ());
   List.iter (fun f -> f event) t.listeners
 
 (* The watchdog sweeps tracked transactions every [stall_timeout / 2] and
@@ -372,6 +391,16 @@ let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.)
          | Some _ -> Some (Ccdb_util.Rng.split rng)
          | None -> None) }
   in
+  (* Mirror every implementation-log mutation as a runtime event, so the
+     streaming analyzer can grow its conflict graph in-line instead of
+     re-scanning the store's logs after the run. *)
+  Ccdb_storage.Store.on_append t.store (fun (item, site) entry ->
+      emit t
+        (Op_implemented
+           { txn = entry.Ccdb_storage.Store.txn; op = entry.kind; item; site;
+             at = entry.at }));
+  Ccdb_storage.Store.on_discard t.store (fun (item, site) ~txn ~removed ->
+      emit t (Reads_discarded { txn; item; site; removed; at = now t }));
   (match faults with
    | None -> ()
    | Some plan ->

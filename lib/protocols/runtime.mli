@@ -147,6 +147,27 @@ type event =
       commit : bool;
       at : float;
     }  (** 2PC participant learned and force-logged the round's outcome *)
+  | Op_implemented of {
+      txn : int;
+      op : Ccdb_model.Op.kind;
+      item : int;
+      site : int;
+      at : float;
+    }
+      (** a physical operation landed in a copy's implementation log
+          (mirrors {!Ccdb_storage.Store.on_append}); the streaming analyzer
+          grows its conflict graph from these instead of re-scanning the
+          store after the run *)
+  | Reads_discarded of {
+      txn : int;
+      item : int;
+      site : int;
+      removed : int;
+      at : float;
+    }
+      (** {!Ccdb_storage.Store.discard_reads} withdrew [removed] read
+          entries of [txn] from the copy's log (basic T/O restart after an
+          elsewhere-rejection); only emitted when [removed > 0] *)
 
 type completion = {
   txn : Ccdb_model.Txn.t;

@@ -9,6 +9,51 @@ let serialization_order logs =
 let violation_witness logs =
   Conflict_graph.find_cycle (Conflict_graph.of_logs logs)
 
+(* Decorate a witness cycle with provenance: for each consecutive pair
+   (including the wrap-around), the first copy/log position where the
+   conflict materializes. *)
+let witness_detail logs cycle =
+  let find_edge a b =
+    let rec scan_copy = function
+      | [] -> None
+      | ((item, site), entries) :: rest ->
+        let rec scan = function
+          | [] -> None
+          | (e : Ccdb_storage.Store.log_entry) :: tail when e.txn = a -> (
+            match
+              List.find_opt
+                (fun (e' : Ccdb_storage.Store.log_entry) ->
+                  e'.txn = b
+                  && not
+                       (Ccdb_model.Op.equal e.kind Ccdb_model.Op.Read
+                       && Ccdb_model.Op.equal e'.kind Ccdb_model.Op.Read))
+                tail
+            with
+            | Some e' ->
+              Some
+                { Incremental.src = a; dst = b;
+                  prov =
+                    { Incremental.item; site; from_op = e.kind;
+                      to_op = e'.kind } }
+            | None -> scan tail)
+          | _ :: tail -> scan tail
+        in
+        (match scan entries with
+         | Some e -> Some e
+         | None -> scan_copy rest)
+    in
+    scan_copy logs
+  in
+  match cycle with
+  | [] -> []
+  | first :: _ ->
+    let rec pairs = function
+      | [] -> []
+      | [ last ] -> [ (last, first) ]
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    in
+    List.filter_map (fun (a, b) -> find_edge a b) (pairs cycle)
+
 (* Ordered conflicting pairs (ti, tj): ti's op precedes tj's conflicting op
    in some log. *)
 let conflict_pairs logs =

@@ -15,6 +15,12 @@ val serialization_order : logs -> int list option
 val violation_witness : logs -> int list option
 (** A cycle of transaction ids when {e not} serializable. *)
 
+val witness_detail : logs -> int list -> Incremental.edge list
+(** Decorates a {!violation_witness} cycle with provenance: for each
+    consecutive pair (including the wrap-around), the first copy and
+    conflicting operation pair that orders it.  Pairs with no such log
+    evidence are dropped (never happens on a genuine witness). *)
+
 val brute_force_serializable : ?max_txns:int -> logs -> bool option
 (** Independent oracle: enumerates all permutations of the transactions and
     checks each conflicting pair is consistently ordered.  Returns [None]

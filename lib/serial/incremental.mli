@@ -1,0 +1,69 @@
+(** Incremental conflict-graph maintenance.
+
+    Maintains the conflict graph of {!Conflict_graph} online: edges are
+    added one at a time as operations are implemented, acyclicity is
+    re-checked per insertion by Pearce–Kelly incremental topological
+    ordering (cost proportional to the affected region, not the graph),
+    and the committed prefix of the execution is garbage-collected so the
+    live graph stays bounded by the in-flight window.
+
+    An insertion that would close a cycle is {e deferred} — parked, not
+    applied — because a later [remove_edge] (basic T/O withdrawing an
+    aborted attempt's reads) may dissolve the cycle; {!check_deferred}
+    settles the final verdict at end of trace, matching the batch oracle
+    over the final logs exactly. *)
+
+type provenance = {
+  item : int;
+  site : int;
+  from_op : Ccdb_model.Op.kind;
+  to_op : Ccdb_model.Op.kind;
+}
+(** Which conflicting operation pair on which physical copy generated an
+    edge. *)
+
+type edge = { src : int; dst : int; prov : provenance }
+
+type t
+
+val create : unit -> t
+
+val add_edge : t -> src:int -> dst:int -> prov:provenance -> edge list option
+(** Adds one instance of the edge (instances are refcounted; the first
+    instance's provenance is kept).  Returns [Some witness] — the closed
+    cycle as an edge list starting with the offending edge — when the
+    insertion would create a cycle; the edge is then parked, not applied
+    (extra instances of a parked edge return [None]).  Self-edges and
+    edges touching a collected node are ignored. *)
+
+val remove_edge : t -> src:int -> dst:int -> unit
+(** Removes one instance (live first, then parked); a no-op when the edge
+    is unknown (e.g. its endpoint was collected). *)
+
+val retire : t -> int -> unit
+(** Declares that the node's transaction is committed and fully
+    implemented — it will never gain another in-edge.  The node is
+    collected as soon as it has no live or parked in-edge, cascading to
+    successors that become eligible. *)
+
+val check_deferred : t -> edge list option
+(** End-of-trace verdict: re-applies the parked cycle-closing edges (in
+    deterministic [(src, dst)] order) and returns the witness of the
+    first one that still closes a cycle, or [None] when the full graph —
+    live plus parked — is acyclic.  Call once, after the last event. *)
+
+val live_nodes : t -> int
+
+val live_edges : t -> int
+(** Distinct live edges (instances not counted). *)
+
+val collected : t -> int
+(** Nodes garbage-collected so far. *)
+
+val deferred_edges : t -> int
+(** Currently parked cycle-closing edges. *)
+
+val work : t -> int
+(** Deterministic step counter (edges traversed, nodes reordered,
+    insertions, removals, collections) — the cost measure experiment E13
+    tables instead of wall-clock time. *)

@@ -9,7 +9,12 @@ type cell = {
   mutable log : log_entry list;               (* newest first *)
 }
 
-type t = { catalog : Catalog.t; cells : (copy, cell) Hashtbl.t }
+type t = {
+  catalog : Catalog.t;
+  cells : (copy, cell) Hashtbl.t;
+  mutable append_obs : (copy -> log_entry -> unit) list;   (* newest first *)
+  mutable discard_obs : (copy -> txn:int -> removed:int -> unit) list;
+}
 
 let create catalog =
   let cells = Hashtbl.create 256 in
@@ -18,7 +23,10 @@ let create catalog =
       Hashtbl.add cells copy
         { value = 0; writer = -1; history = [ (-1, 0, 0.) ]; log = [] })
     (Catalog.all_copies catalog);
-  { catalog; cells }
+  { catalog; cells; append_obs = []; discard_obs = [] }
+
+let on_append t f = t.append_obs <- f :: t.append_obs
+let on_discard t f = t.discard_obs <- f :: t.discard_obs
 
 let catalog t = t.catalog
 
@@ -30,23 +38,34 @@ let cell t ~item ~site =
 let read t ~item ~site = (cell t ~item ~site).value
 let writer_of t ~item ~site = (cell t ~item ~site).writer
 
+let notify_append t copy entry =
+  List.iter (fun f -> f copy entry) t.append_obs
+
 let apply_write t ~item ~site ~txn ~value ~at =
   let c = cell t ~item ~site in
   c.value <- value;
   c.writer <- txn;
   c.history <- (txn, value, at) :: c.history;
-  c.log <- { txn; kind = Ccdb_model.Op.Write; at } :: c.log
+  let entry = { txn; kind = Ccdb_model.Op.Write; at } in
+  c.log <- entry :: c.log;
+  notify_append t (item, site) entry
 
 let log_read t ~item ~site ~txn ~at =
   let c = cell t ~item ~site in
-  c.log <- { txn; kind = Ccdb_model.Op.Read; at } :: c.log
+  let entry = { txn; kind = Ccdb_model.Op.Read; at } in
+  c.log <- entry :: c.log;
+  notify_append t (item, site) entry
 
 let discard_reads t ~item ~site ~txn =
   let c = cell t ~item ~site in
+  let before = List.length c.log in
   c.log <-
     List.filter
       (fun e -> not (e.txn = txn && e.kind = Ccdb_model.Op.Read))
-      c.log
+      c.log;
+  let removed = before - List.length c.log in
+  if removed > 0 then
+    List.iter (fun f -> f (item, site) ~txn ~removed) t.discard_obs
 
 let log t ~item ~site = List.rev (cell t ~item ~site).log
 

@@ -55,3 +55,13 @@ val logs : t -> (copy * log_entry list) list
 val versions : t -> item:int -> site:int -> (int * int * float) list
 (** Version history [(txn, value, at)], oldest first, including the initial
     version. *)
+
+val on_append : t -> (copy -> log_entry -> unit) -> unit
+(** Registers an observer called synchronously after every log append
+    ([apply_write] or [log_read]), with the copy and the entry just
+    appended.  Observers fire newest-registered first. *)
+
+val on_discard : t -> (copy -> txn:int -> removed:int -> unit) -> unit
+(** Registers an observer called synchronously after [discard_reads]
+    actually removes entries ([removed > 0]; no notification for no-op
+    discards). *)

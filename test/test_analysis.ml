@@ -43,7 +43,12 @@ let spec =
 let test_all_modes_audit_clean () =
   List.iter
     (fun mode ->
-      let r = D.run ~setup:small_setup ~n_txns:80 ~audit:true mode spec in
+      (* Differential: the batch replay and the streaming analyzer both run
+         and must agree — a divergence is itself an error finding *)
+      let r =
+        D.run ~setup:small_setup ~n_txns:80 ~audit:true
+          ~audit_path:D.Differential mode spec
+      in
       let report = Option.get r.audit in
       let name = D.mode_name mode in
       check Alcotest.(list string) (name ^ " audits clean") []
@@ -162,6 +167,269 @@ let test_detects_non_2pl_victim () =
   check Alcotest.bool "thm.cycle-without-2pl reported" true
     (has_error report "thm.cycle-without-2pl")
 
+(* ------------------------------------------ seeded-corruption witnesses *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Build a store + matching event stream the way the runtime does: store
+   observers synthesize the Op_implemented events.  The corruption: the
+   same two writes land in opposite orders on the two copies of item 0,
+   injecting the cycle 1 -> 2 (copy (0,0)) / 2 -> 1 (copy (0,1)). *)
+let test_not_serializable_witness () =
+  let catalog = Ccdb_storage.Catalog.create ~items:1 ~sites:2 ~replication:2 in
+  let store = Ccdb_storage.Store.create catalog in
+  let events = ref [] in
+  Ccdb_storage.Store.on_append store (fun (item, site) entry ->
+      events :=
+        Rt.Op_implemented
+          { txn = entry.txn; op = entry.kind; item; site; at = entry.at }
+        :: !events);
+  Ccdb_storage.Store.apply_write store ~item:0 ~site:0 ~txn:1 ~value:1 ~at:1.;
+  Ccdb_storage.Store.apply_write store ~item:0 ~site:0 ~txn:2 ~value:2 ~at:2.;
+  Ccdb_storage.Store.apply_write store ~item:0 ~site:1 ~txn:2 ~value:2 ~at:3.;
+  Ccdb_storage.Store.apply_write store ~item:0 ~site:1 ~txn:1 ~value:1 ~at:4.;
+  let events = Array.of_list (List.rev !events) in
+  let assert_witness label report =
+    match
+      List.filter
+        (fun (f : An.Finding.t) -> f.check = "thm.not-serializable")
+        (An.Report.findings report)
+    with
+    | [ f ] ->
+      check Alcotest.(list int) (label ^ ": witness txns") [ 1; 2 ]
+        (List.sort compare f.txns);
+      (match f.cycle with
+       | [] -> Alcotest.failf "%s: witness cycle is empty" label
+       | (first : Ccdb_serial.Incremental.edge) :: _ as cycle ->
+         List.iter
+           (fun (e : Ccdb_serial.Incremental.edge) ->
+             check Alcotest.int (label ^ ": witness names item 0") 0
+               e.prov.item;
+             check Alcotest.bool (label ^ ": witness edge is injected") true
+               ((e.src, e.dst) = (1, 2) || (e.src, e.dst) = (2, 1)))
+           cycle;
+         let rec chained = function
+           | [ (last : Ccdb_serial.Incremental.edge) ] -> last.dst = first.src
+           | a :: (b :: _ as rest) ->
+             a.Ccdb_serial.Incremental.dst = b.Ccdb_serial.Incremental.src
+             && chained rest
+           | [] -> false
+         in
+         check Alcotest.bool (label ^ ": witness is a closed chain") true
+           (chained cycle));
+      let rendered = Format.asprintf "%a" An.Finding.pp f in
+      check Alcotest.bool (label ^ ": pp renders the witness") true
+        (contains_sub rendered "witness:")
+    | l ->
+      Alcotest.failf "%s: expected one thm.not-serializable, got %d" label
+        (List.length l)
+  in
+  assert_witness "batch" (An.Analyzer.analyze ~store events);
+  assert_witness "stream" (An.Analyzer.analyze_stream ~store events)
+
+(* ------------------------------------- differential batch-vs-stream fuzz *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Random raw scripts: arbitrary reads/writes/discards/commits over a
+   2-item, 2-site store, including asymmetric single-copy writes and
+   mid-trace read withdrawals.  The store observers synthesize the event
+   stream exactly as the runtime does. *)
+type raw_action =
+  | Do_read of int * int * int  (* txn, item, site *)
+  | Do_write of int * int * int
+  | Do_discard of int * int * int
+  | Do_commit of int
+
+let raw_script_gen =
+  let open QCheck.Gen in
+  let txn = int_range 1 5 and item = int_range 0 1 and site = int_range 0 1 in
+  let action =
+    frequency
+      [ (4, map3 (fun t i s -> Do_read (t, i, s)) txn item site);
+        (4, map3 (fun t i s -> Do_write (t, i, s)) txn item site);
+        (1, map3 (fun t i s -> Do_discard (t, i, s)) txn item site);
+        (1, map (fun t -> Do_commit t) txn) ]
+  in
+  list_size (int_range 0 40) action
+
+let instrument store =
+  let events = ref [] in
+  Ccdb_storage.Store.on_append store (fun (item, site) entry ->
+      events :=
+        Rt.Op_implemented
+          { txn = entry.txn; op = entry.kind; item; site; at = entry.at }
+        :: !events);
+  Ccdb_storage.Store.on_discard store (fun (item, site) ~txn ~removed ->
+      events := Rt.Reads_discarded { txn; item; site; removed; at = 0. } :: !events);
+  events
+
+let commit_event ~id ~read_set ~write_set ~at =
+  let txn =
+    Ccdb_model.Txn.make ~id ~site:0 ~read_set ~write_set ~compute_time:1.
+      ~protocol:(List.nth P.all (id mod List.length P.all))
+  in
+  Rt.Txn_committed { txn; submitted_at = 0.; executed_at = at; restarts = 0 }
+
+let replay_raw script =
+  let catalog = Ccdb_storage.Catalog.create ~items:2 ~sites:2 ~replication:2 in
+  let store = Ccdb_storage.Store.create catalog in
+  let events = instrument store in
+  let committed = Hashtbl.create 8 in
+  let reads = Hashtbl.create 8 and writes = Hashtbl.create 8 in
+  let record tbl t i =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl t) in
+    if not (List.mem i cur) then Hashtbl.replace tbl t (i :: cur)
+  in
+  let items_of tbl t =
+    List.sort compare (Option.value ~default:[] (Hashtbl.find_opt tbl t))
+  in
+  let clock = ref 0. in
+  let tick () =
+    clock := !clock +. 1.;
+    !clock
+  in
+  List.iter
+    (fun action ->
+      let live t = not (Hashtbl.mem committed t) in
+      match action with
+      | Do_read (t, i, s) when live t ->
+        Ccdb_storage.Store.log_read store ~item:i ~site:s ~txn:t ~at:(tick ());
+        record reads t i
+      | Do_write (t, i, s) when live t ->
+        Ccdb_storage.Store.apply_write store ~item:i ~site:s ~txn:t ~value:t
+          ~at:(tick ());
+        record writes t i
+      | Do_discard (t, i, s) when live t ->
+        Ccdb_storage.Store.discard_reads store ~item:i ~site:s ~txn:t
+      | Do_commit t when live t ->
+        Hashtbl.replace committed t ();
+        (* Txn.make rejects empty access sets; a do-nothing transaction
+           just vanishes *)
+        let read_set = items_of reads t and write_set = items_of writes t in
+        if read_set <> [] || write_set <> [] then
+          events :=
+            commit_event ~id:t ~read_set ~write_set ~at:!clock :: !events
+      | Do_read _ | Do_write _ | Do_discard _ | Do_commit _ -> ())
+    script;
+  (store, Array.of_list (List.rev !events))
+
+let prop_stream_matches_batch_raw =
+  qtest ~count:1000 "stream = batch on random raw traces"
+    (QCheck.make raw_script_gen)
+    (fun script ->
+      let store, events = replay_raw script in
+      let batch = An.Analyzer.analyze ~store events in
+      let stream = An.Analyzer.analyze_stream ~store events in
+      An.Analyzer.diff ~batch ~stream = [])
+
+(* Well-formed scripts: each transaction reads each item at most once (one
+   copy), writes each item at most once (all copies, as write-all replica
+   control does), then either commits with a truthful read/write-set —
+   enabling committed-prefix GC — or aborts, withdrawing its reads. *)
+type wf_op = W_read of int * int | W_write of int
+
+type wf_txn = { wt_id : int; wt_ops : wf_op list; wt_commits : bool }
+
+let wf_script_gen =
+  let open QCheck.Gen in
+  let wf_txn_gen id =
+    let* r0 = bool in
+    let* r1 = bool in
+    let* s0 = int_range 0 1 in
+    let* s1 = int_range 0 1 in
+    let* w0 = bool in
+    let* w1 = bool in
+    let ops =
+      (if r0 then [ W_read (0, s0) ] else [])
+      @ (if r1 then [ W_read (1, s1) ] else [])
+      @ (if w0 then [ W_write 0 ] else [])
+      @ (if w1 then [ W_write 1 ] else [])
+    in
+    let* ops = shuffle_l ops in
+    let* wt_commits = bool in
+    return { wt_id = id; wt_ops = ops; wt_commits }
+  in
+  let* n = int_range 1 5 in
+  let rec gen_txns i acc =
+    if i > n then return (List.rev acc)
+    else
+      let* t = wf_txn_gen i in
+      gen_txns (i + 1) (t :: acc)
+  in
+  let* txns = gen_txns 1 [] in
+  (* one slot per op plus a fate slot; a shuffle of the slot multiset is a
+     fair interleaving that preserves each transaction's own op order *)
+  let slots =
+    List.concat_map
+      (fun t -> List.init (List.length t.wt_ops + 1) (fun _ -> t.wt_id))
+      txns
+  in
+  let* order = shuffle_l slots in
+  return (txns, order)
+
+let replay_wf (txns, order) =
+  let catalog = Ccdb_storage.Catalog.create ~items:2 ~sites:2 ~replication:2 in
+  let store = Ccdb_storage.Store.create catalog in
+  let events = instrument store in
+  let queues = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace queues t.wt_id (ref t.wt_ops, t)) txns;
+  let clock = ref 0. in
+  let tick () =
+    clock := !clock +. 1.;
+    !clock
+  in
+  List.iter
+    (fun id ->
+      let q, t = Hashtbl.find queues id in
+      match !q with
+      | W_read (item, site) :: rest ->
+        q := rest;
+        Ccdb_storage.Store.log_read store ~item ~site ~txn:id ~at:(tick ())
+      | W_write item :: rest ->
+        q := rest;
+        List.iter
+          (fun site ->
+            Ccdb_storage.Store.apply_write store ~item ~site ~txn:id ~value:id
+              ~at:(tick ()))
+          (Ccdb_storage.Catalog.copies catalog item)
+      | [] ->
+        if t.wt_commits && t.wt_ops <> [] then
+          let read_set =
+            List.filter_map
+              (function W_read (i, _) -> Some i | W_write _ -> None)
+              t.wt_ops
+          in
+          let write_set =
+            List.filter_map
+              (function W_write i -> Some i | W_read _ -> None)
+              t.wt_ops
+          in
+          events :=
+            commit_event ~id ~read_set:(List.sort compare read_set)
+              ~write_set:(List.sort compare write_set) ~at:!clock
+            :: !events
+        else
+          List.iter
+            (fun (item, site) ->
+              Ccdb_storage.Store.discard_reads store ~item ~site ~txn:id)
+            (Ccdb_storage.Catalog.all_copies catalog))
+    order;
+  (store, catalog, Array.of_list (List.rev !events))
+
+let prop_stream_matches_batch_wf =
+  qtest ~count:1000 "stream = batch with prefix GC on well-formed traces"
+    (QCheck.make wf_script_gen)
+    (fun script ->
+      let store, catalog, events = replay_wf script in
+      let batch = An.Analyzer.analyze ~store events in
+      let stream = An.Analyzer.analyze_stream ~store ~catalog events in
+      An.Analyzer.diff ~batch ~stream = [])
+
 let suites =
   [ ( "analysis",
       [ Alcotest.test_case "all modes audit clean" `Slow
@@ -182,4 +450,8 @@ let suites =
         Alcotest.test_case "grant-order violation" `Quick
           test_detects_grant_order_violation;
         Alcotest.test_case "non-2PL deadlock victim" `Quick
-          test_detects_non_2pl_victim ] ) ]
+          test_detects_non_2pl_victim;
+        Alcotest.test_case "not-serializable witness" `Quick
+          test_not_serializable_witness ] );
+    ( "analysis.differential",
+      [ prop_stream_matches_batch_raw; prop_stream_matches_batch_wf ] ) ]

@@ -76,7 +76,7 @@ let test_experiments_jobs_identical () =
 
 let test_staged_counts () =
   let staged = Ccdb_harness.Experiments.staged ~quick:true () in
-  check Alcotest.int "19 experiments" 19 (List.length staged);
+  check Alcotest.int "20 experiments" 20 (List.length staged);
   List.iter
     (fun s ->
       check Alcotest.bool "every experiment has points" true
@@ -558,7 +558,7 @@ let test_bench_json_shape () =
   | Error e -> Alcotest.failf "BENCH.json does not parse: %s" e
   | Ok doc ->
     let str key = Option.bind (Json.member key doc) Json.to_str in
-    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/2")
+    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/3")
       (str "schema");
     let cores = Option.bind (Json.member "cores" doc) Json.to_float in
     check Alcotest.bool "cores >= 1" true
@@ -591,7 +591,11 @@ let test_bench_json_shape () =
          (has "lock_table.cycle");
        check Alcotest.bool "wal.append present" true (has "wal.append");
        check Alcotest.bool "wal.replay-512 present" true
-         (has "wal.replay-512"));
+         (has "wal.replay-512");
+       check Alcotest.bool "conflict_graph.check-incremental present" true
+         (has "conflict_graph.check-incremental");
+       check Alcotest.bool "analysis.stream-feed present" true
+         (has "analysis.stream-feed"));
     (match Json.member "experiments" doc with
      | None -> Alcotest.fail "experiments missing"
      | Some exp ->

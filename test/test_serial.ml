@@ -166,6 +166,145 @@ let prop_topo_respects_edges =
           (fun (a, b) -> Hashtbl.find pos a < Hashtbl.find pos b)
           (Ccdb_serial.Conflict_graph.edges g))
 
+(* --- Incremental ---------------------------------------------------------- *)
+
+module Inc = Ccdb_serial.Incremental
+
+let prov : Inc.provenance =
+  { item = 0; site = 0; from_op = Ccdb_model.Op.Write;
+    to_op = Ccdb_model.Op.Write }
+
+let test_incremental_park_and_dissolve () =
+  let g = Inc.create () in
+  check Alcotest.bool "1->2 ok" true (Inc.add_edge g ~src:1 ~dst:2 ~prov = None);
+  check Alcotest.bool "2->3 ok" true (Inc.add_edge g ~src:2 ~dst:3 ~prov = None);
+  check Alcotest.bool "3->1 parked" true
+    (Inc.add_edge g ~src:3 ~dst:1 ~prov <> None);
+  check Alcotest.int "two live edges" 2 (Inc.live_edges g);
+  check Alcotest.int "one parked edge" 1 (Inc.deferred_edges g);
+  (* withdrawing 1->2 dissolves the only cycle the parked edge closed *)
+  Inc.remove_edge g ~src:1 ~dst:2;
+  check Alcotest.bool "acyclic after removal" true (Inc.check_deferred g = None)
+
+let test_incremental_witness_chain () =
+  let g = Inc.create () in
+  ignore (Inc.add_edge g ~src:1 ~dst:2 ~prov);
+  ignore (Inc.add_edge g ~src:2 ~dst:3 ~prov);
+  match Inc.add_edge g ~src:3 ~dst:1 ~prov with
+  | None -> Alcotest.fail "expected a cycle witness"
+  | Some w ->
+    check Alcotest.int "witness length" 3 (List.length w);
+    let first = List.hd w in
+    check Alcotest.int "offending src" 3 first.Inc.src;
+    check Alcotest.int "offending dst" 1 first.Inc.dst;
+    let rec chained = function
+      | [ (last : Inc.edge) ] -> last.dst = first.Inc.src
+      | a :: (b :: _ as rest) -> a.Inc.dst = b.Inc.src && chained rest
+      | [] -> false
+    in
+    check Alcotest.bool "witness is a closed chain" true (chained w)
+
+let test_incremental_refcount () =
+  let g = Inc.create () in
+  ignore (Inc.add_edge g ~src:1 ~dst:2 ~prov);
+  ignore (Inc.add_edge g ~src:1 ~dst:2 ~prov);
+  Inc.remove_edge g ~src:1 ~dst:2;
+  check Alcotest.int "second instance survives" 1 (Inc.live_edges g);
+  Inc.remove_edge g ~src:1 ~dst:2;
+  check Alcotest.int "both instances gone" 0 (Inc.live_edges g);
+  (* removing an unknown edge is a no-op *)
+  Inc.remove_edge g ~src:7 ~dst:8;
+  check Alcotest.bool "still acyclic" true (Inc.check_deferred g = None)
+
+let test_incremental_gc () =
+  let g = Inc.create () in
+  ignore (Inc.add_edge g ~src:1 ~dst:2 ~prov);
+  ignore (Inc.add_edge g ~src:2 ~dst:3 ~prov);
+  Inc.retire g 1;
+  check Alcotest.int "source collected immediately" 1 (Inc.collected g);
+  Inc.retire g 3;
+  check Alcotest.int "3 has a live in-edge, stays" 1 (Inc.collected g);
+  Inc.retire g 2;
+  (* 1's collection dropped 1->2, so 2 collects, which drops 2->3 and
+     cascades into the already-retired 3 *)
+  check Alcotest.int "cascade collects everything" 3 (Inc.collected g);
+  check Alcotest.int "no live nodes" 0 (Inc.live_nodes g);
+  check Alcotest.int "no live edges" 0 (Inc.live_edges g)
+
+let random_edge_pairs_gen =
+  QCheck.Gen.(list_size (int_range 0 30) (pair (int_range 1 6) (int_range 1 6)))
+
+let batch_of_pairs pairs =
+  let edges =
+    List.sort_uniq compare (List.filter (fun (a, b) -> a <> b) pairs)
+  in
+  Ccdb_serial.Conflict_graph.of_edges ~nodes:[] ~edges
+
+let prop_incremental_matches_batch =
+  qtest ~count:500 "incremental verdict matches batch has_cycle"
+    (QCheck.make random_edge_pairs_gen)
+    (fun pairs ->
+      let g = Inc.create () in
+      List.iter
+        (fun (src, dst) -> ignore (Inc.add_edge g ~src ~dst ~prov))
+        pairs;
+      Inc.check_deferred g <> None
+      = Ccdb_serial.Conflict_graph.has_cycle (batch_of_pairs pairs))
+
+let prop_incremental_witness_closed =
+  qtest ~count:500 "every parked-cycle witness is a closed chain"
+    (QCheck.make random_edge_pairs_gen)
+    (fun pairs ->
+      let g = Inc.create () in
+      List.for_all
+        (fun (src, dst) ->
+          match Inc.add_edge g ~src ~dst ~prov with
+          | None -> true
+          | Some [] -> false
+          | Some ((first : Inc.edge) :: _ as w) ->
+            first.src = src && first.dst = dst
+            &&
+            let rec chained = function
+              | [ (last : Inc.edge) ] -> last.dst = first.src
+              | a :: (b :: _ as rest) -> a.Inc.dst = b.Inc.src && chained rest
+              | [] -> false
+            in
+            chained w)
+        pairs)
+
+(* add/remove interleavings: the final verdict must match a batch check of
+   the surviving edge multiset, mirrored in a plain hash table *)
+let random_edge_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (triple bool (int_range 1 6) (int_range 1 6)))
+
+let prop_incremental_remove_matches_batch =
+  qtest ~count:500 "add/remove interleavings match batch on survivors"
+    (QCheck.make random_edge_ops_gen)
+    (fun ops ->
+      let g = Inc.create () in
+      let mirror = Hashtbl.create 16 in
+      let count k = Option.value ~default:0 (Hashtbl.find_opt mirror k) in
+      List.iter
+        (fun (is_add, src, dst) ->
+          if is_add then begin
+            ignore (Inc.add_edge g ~src ~dst ~prov);
+            if src <> dst then
+              Hashtbl.replace mirror (src, dst) (count (src, dst) + 1)
+          end
+          else begin
+            Inc.remove_edge g ~src ~dst;
+            let c = count (src, dst) in
+            if c > 0 then Hashtbl.replace mirror (src, dst) (c - 1)
+          end)
+        ops;
+      let survivors =
+        Hashtbl.fold (fun k c acc -> if c > 0 then k :: acc else acc) mirror []
+      in
+      Inc.check_deferred g <> None
+      = Ccdb_serial.Conflict_graph.has_cycle (batch_of_pairs survivors))
+
 let test_replica_consistent () =
   let c = Ccdb_storage.Catalog.create ~items:1 ~sites:2 ~replication:2 in
   let s = Ccdb_storage.Store.create c in
@@ -205,4 +344,13 @@ let suites =
         Alcotest.test_case "replica consistency" `Quick test_replica_consistent;
         Alcotest.test_case "replica order violation" `Quick test_replica_order_violation;
         prop_checker_matches_brute_force;
-        prop_topo_respects_edges ] ) ]
+        prop_topo_respects_edges ] );
+    ( "serial.incremental",
+      [ Alcotest.test_case "park and dissolve" `Quick
+          test_incremental_park_and_dissolve;
+        Alcotest.test_case "witness chain" `Quick test_incremental_witness_chain;
+        Alcotest.test_case "edge refcount" `Quick test_incremental_refcount;
+        Alcotest.test_case "committed-prefix GC" `Quick test_incremental_gc;
+        prop_incremental_matches_batch;
+        prop_incremental_witness_closed;
+        prop_incremental_remove_matches_batch ] ) ]
