@@ -1,11 +1,13 @@
 (* The benchmark binary: regenerates every reproduced experiment table
-   (E1-E13 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
+   (E1-E14 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
    runs bechamel micro-benchmarks of the core data structures.
 
    Run with: dune exec bench/main.exe
    Pass --quick for reduced transaction counts, --micro-only / --exp-only to
    select one half, --audit to statically verify a traced run of every
-   system against the paper's invariants before benchmarking. *)
+   system against the paper's invariants before benchmarking, and
+   --insights FILE to also write the canonical workload-insights document
+   (INSIGHTS.json, schema ccdb-insights/1 — see OBSERVABILITY.md). *)
 
 let quick = ref false
 let micro_only = ref false
@@ -13,6 +15,7 @@ let exp_only = ref false
 let audit = ref false
 let jobs = ref (Ccdb_harness.Parallel.default_jobs ())
 let json_path = ref None
+let insights_path = ref None
 
 let () =
   let specs =
@@ -26,7 +29,10 @@ let () =
         domain count)");
       ("--json", Arg.String (fun p -> json_path := Some p),
        "FILE write a machine-readable baseline (ns/op, r^2, wall-clocks) \
-        to FILE") ]
+        to FILE");
+      ("--insights", Arg.String (fun p -> insights_path := Some p),
+       "FILE write the canonical workload-insights document (the E14 \
+        measured-adaptive run, schema ccdb-insights/1) to FILE") ]
   in
   let usage = "usage: dune exec bench/main.exe -- [options]" in
   (* unknown flags and stray positional arguments are hard errors, so a
@@ -41,6 +47,7 @@ let exp_only = !exp_only
 let audit = !audit
 let jobs = max 1 !jobs
 let json_path = !json_path
+let insights_path = !insights_path
 
 (* ----------------------------------------------------------------- audit *)
 
@@ -500,8 +507,55 @@ let write_json path ~exp ~micro =
   close_out oc;
   Printf.printf "(wrote %s)\n" path
 
+(* -------------------------------------------------------------- insights *)
+
+(* The canonical insights document: the "dynamic measured" row of E14
+   (phase-change workload, measured-lambda adaptivity with reselection),
+   observed by the insights collector and emitted as ccdb-insights/1.
+   Deterministic for the pinned seed, so the committed INSIGHTS.json can be
+   regenerated byte-identically; the test suite validates its schema. *)
+let run_insights path =
+  let calm =
+    { Ccdb_workload.Generator.default with arrival_rate = 0.15 }
+  in
+  let storm =
+    { Ccdb_workload.Generator.default with
+      arrival_rate = 0.3;
+      size_min = 1;
+      size_max = 1;
+      read_fraction = 0.;
+      access = Ccdb_workload.Generator.Zipf 1.0 }
+  in
+  (* always full size: this is the pinned artifact E14 documents, and the
+     run is cheap (700 transactions) even under --quick *)
+  let phases = [ (calm, 400); (storm, 300) ] in
+  let setup =
+    { Ccdb_harness.Driver.default_setup with
+      items = 24;
+      adaptive = Ccdb_harness.Driver.Measured 400.;
+      reselect = true }
+  in
+  let collector = ref None in
+  ignore
+    (Ccdb_harness.Driver.run_phases ~setup
+       ~observer:(fun rt ->
+         collector := Some (Ccdb_insights.Collector.attach ~window:500. rt))
+       Ccdb_harness.Driver.Dynamic phases);
+  let doc = Ccdb_insights.Collector.to_json (Option.get !collector) in
+  (match Ccdb_insights.Collector.validate doc with
+   | Ok () -> ()
+   | Error e ->
+     Printf.eprintf "insights document failed its own schema check: %s\n" e;
+     exit 1);
+  let oc = open_out path in
+  output_string oc (Ccdb_util.Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
 let () =
   if audit then run_audit ();
+  (match insights_path with None -> () | Some path -> run_insights path);
   let exp = if not micro_only then Some (run_experiments ()) else None in
   let micro = if not exp_only then Some (run_micro ()) else None in
   match json_path with

@@ -334,7 +334,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E13, X1-X7).")
+       ~doc:"Regenerate the paper-reproduction tables (E1-E14, X1-X7).")
     Term.(const run $ quick $ only $ csv_dir $ jobs)
 
 (* --------------------------------------------------------------- faults *)
@@ -651,6 +651,301 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sweep arrival rates across systems; print/CSV.")
     Term.(const run $ lambdas $ modes $ txns $ items $ csv)
 
+(* ------------------------------------------------------------- insights *)
+
+(* [--adaptive cumulative|configured|measured:WINDOW] maps onto
+   {!Ccdb_harness.Driver.adaptive}. *)
+let adaptive_conv =
+  let parse s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "cumulative" ] -> Ok Ccdb_harness.Driver.Cumulative
+    | [ "configured" ] -> Ok Ccdb_harness.Driver.Configured
+    | [ "measured" ] -> Ok (Ccdb_harness.Driver.Measured 400.)
+    | [ "measured"; w ] -> (
+      match float_of_string_opt w with
+      | Some w when w > 0. -> Ok (Ccdb_harness.Driver.Measured w)
+      | _ -> Error (`Msg "measured:WINDOW needs a positive window"))
+    | _ -> Error (`Msg "expected cumulative, configured or measured[:WINDOW]")
+  in
+  let print ppf = function
+    | Ccdb_harness.Driver.Cumulative -> Format.pp_print_string ppf "cumulative"
+    | Ccdb_harness.Driver.Configured -> Format.pp_print_string ppf "configured"
+    | Ccdb_harness.Driver.Measured w -> Format.fprintf ppf "measured:%g" w
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+(* One [--phase] argument: comma-separated k=v settings over a base spec,
+   e.g. lambda=0.3,txns=300,read-fraction=0,size=1-1,zipf=1.0. *)
+type phase_arg = {
+  ph_lambda : float option;
+  ph_txns : int;
+  ph_rf : float option;
+  ph_size : (int * int) option;
+  ph_zipf : float option;
+}
+
+let phase_conv =
+  let parse s =
+    let init =
+      { ph_lambda = None; ph_txns = 0; ph_rf = None; ph_size = None;
+        ph_zipf = None }
+    in
+    let step acc kv =
+      match String.index_opt kv '=' with
+      | None -> Error (`Msg (Printf.sprintf "phase setting %S is not k=v" kv))
+      | Some i -> (
+        let k = String.sub kv 0 i
+        and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let fl () =
+          match float_of_string_opt v with
+          | Some f -> Ok f
+          | None -> Error (`Msg (Printf.sprintf "phase %s: bad float %S" k v))
+        in
+        match k with
+        | "lambda" -> Result.map (fun f -> { acc with ph_lambda = Some f }) (fl ())
+        | "txns" -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> Ok { acc with ph_txns = n }
+          | _ -> Error (`Msg (Printf.sprintf "phase txns: bad count %S" v)))
+        | "read-fraction" ->
+          Result.map (fun f -> { acc with ph_rf = Some f }) (fl ())
+        | "zipf" -> Result.map (fun f -> { acc with ph_zipf = Some f }) (fl ())
+        | "size" -> (
+          match String.split_on_char '-' v with
+          | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some lo, Some hi when 0 < lo && lo <= hi ->
+              Ok { acc with ph_size = Some (lo, hi) }
+            | _ -> Error (`Msg (Printf.sprintf "phase size: bad range %S" v)))
+          | _ -> Error (`Msg "phase size: expected MIN-MAX"))
+        | _ -> Error (`Msg (Printf.sprintf "unknown phase setting %S" k)))
+    in
+    let rec fold acc = function
+      | [] ->
+        if acc.ph_txns = 0 then Error (`Msg "phase needs txns=N")
+        else Ok acc
+      | kv :: rest -> Result.bind (step acc kv) (fun acc -> fold acc rest)
+    in
+    fold init (String.split_on_char ',' s)
+  in
+  let print ppf p = Format.fprintf ppf "txns=%d" p.ph_txns in
+  Cmdliner.Arg.conv (parse, print)
+
+let insights_cmd =
+  let open Cmdliner in
+  let mode =
+    Arg.(value & opt mode_conv Ccdb_harness.Driver.Dynamic
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"System to observe (same values as $(b,run) --mode).")
+  in
+  let adaptive =
+    Arg.(value & opt adaptive_conv (Ccdb_harness.Driver.Measured 400.)
+         & info [ "adaptive" ] ~docv:"SOURCE"
+             ~doc:
+               "STL parameter source for the dynamic mode: $(b,cumulative), \
+                $(b,configured) or $(b,measured:WINDOW) (sliding-window \
+                width in simulated time units).")
+  in
+  let reselect =
+    Arg.(value & flag
+         & info [ "reselect" ]
+             ~doc:"Re-run the selector when a dynamic transaction restarts.")
+  in
+  let lambda =
+    Arg.(value & opt float 0.1 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let txns = Arg.(value & opt int 400 & info [ "txns" ] ~doc:"Transactions.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Sites.") in
+  let items = Arg.(value & opt int 24 & info [ "items" ] ~doc:"Logical items.") in
+  let repl =
+    Arg.(value & opt int 2 & info [ "replication" ] ~doc:"Copies per item.")
+  in
+  let qr =
+    Arg.(value & opt float 0.5 & info [ "read-fraction" ] ~doc:"Read fraction.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let window =
+    Arg.(value & opt float 500.
+         & info [ "window" ] ~docv:"UNITS"
+             ~doc:"Width of the insights time-series windows.")
+  in
+  let phases =
+    Arg.(value & opt_all phase_conv []
+         & info [ "phase" ] ~docv:"SPEC"
+             ~doc:
+               "Run a phased workload instead of a single spec; repeatable, \
+                in order.  $(docv) is comma-separated k=v settings over the \
+                base flags: lambda=F, txns=N (required), read-fraction=F, \
+                size=MIN-MAX, zipf=THETA.  E14's phase change is two \
+                $(b,--phase) arguments (EXPERIMENTS.md).")
+  in
+  let json_path =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:
+               "Write the versioned insights document (ccdb-insights/1, see \
+                OBSERVABILITY.md) to $(docv); $(b,-) for stdout.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Validate the emitted document against the schema (and its \
+                print/parse round-trip); exit 1 on any violation.")
+  in
+  let top =
+    Arg.(value & opt int 8
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows per section in the human-readable tables.")
+  in
+  let run mode adaptive reselect lambda txns sites items repl qr seed window
+      phases json_path check top =
+    let base =
+      { Ccdb_workload.Generator.default with
+        arrival_rate = lambda; read_fraction = qr }
+    in
+    let setup =
+      { Ccdb_harness.Driver.default_setup with
+        sites; items; replication = repl; seed;
+        net = Ccdb_sim.Net.default_config ~sites; adaptive; reselect }
+    in
+    let collector = ref None in
+    let observer rt =
+      collector := Some (Ccdb_insights.Collector.attach ~window rt)
+    in
+    let r =
+      match phases with
+      | [] -> Ccdb_harness.Driver.run ~setup ~n_txns:txns ~observer mode base
+      | phases ->
+        let spec_of p =
+          { base with
+            arrival_rate = Option.value p.ph_lambda ~default:lambda;
+            read_fraction = Option.value p.ph_rf ~default:qr;
+            size_min = (match p.ph_size with Some (lo, _) -> lo | None -> base.size_min);
+            size_max = (match p.ph_size with Some (_, hi) -> hi | None -> base.size_max);
+            access =
+              (match p.ph_zipf with
+               | Some theta -> Ccdb_workload.Generator.Zipf theta
+               | None -> base.access) }
+        in
+        Ccdb_harness.Driver.run_phases ~setup ~observer mode
+          (List.map (fun p -> (spec_of p, p.ph_txns)) phases)
+    in
+    let c = Option.get !collector in
+    let doc = Ccdb_insights.Collector.to_json c in
+    let s = r.summary in
+    let human = json_path <> Some "-" in
+    if human then begin
+      Format.printf "mode:        %s@." (Ccdb_harness.Driver.mode_name mode);
+      (if mode = Ccdb_harness.Driver.Dynamic then
+         Format.printf "adaptive:    %s%s@."
+           (match adaptive with
+            | Ccdb_harness.Driver.Cumulative -> "cumulative"
+            | Ccdb_harness.Driver.Configured -> "configured"
+            | Ccdb_harness.Driver.Measured w -> Printf.sprintf "measured:%g" w)
+           (if reselect then " + reselect-on-restart" else ""));
+      Format.printf "committed:   %d  (throughput %.4f txns/unit, mean S \
+                     %.2f)@."
+        s.committed s.throughput s.mean_system_time;
+      Format.printf "restarts:    %.3f/txn@." s.restarts_per_txn;
+      let fps = Ccdb_insights.Collector.fingerprints c in
+      let by_commits =
+        List.stable_sort
+          (fun (a : Ccdb_insights.Collector.class_stats) b ->
+            compare b.committed a.committed)
+          fps
+      in
+      Format.printf "@.fingerprints (%d classes, top %d by commits):@."
+        (List.length fps) top;
+      List.iteri
+        (fun i (cs : Ccdb_insights.Collector.class_stats) ->
+          if i < top then
+            Format.printf
+              "  %-12s committed=%-5d restarts=%-4d p50=%-8.1f p90=%-8.1f \
+               p99=%.1f@."
+              (Ccdb_insights.Fingerprint.to_string cs.fingerprint)
+              cs.committed cs.restarts
+              (Ccdb_insights.Histogram.percentile cs.latency 50.)
+              (Ccdb_insights.Histogram.percentile cs.latency 90.)
+              (Ccdb_insights.Histogram.percentile cs.latency 99.))
+        by_commits;
+      let cont = Ccdb_insights.Collector.contention c in
+      if cont <> [] then begin
+        Format.printf "@.contention (%d hot (protocol, item) pairs, top %d):@."
+          (List.length cont) top;
+        List.iteri
+          (fun i (ct : Ccdb_insights.Collector.contention) ->
+            if i < top then
+              Format.printf
+                "  %-4s item %-4d waits=%-4d wait_time=%-9.1f \
+                 rejections=%-4d backoffs=%d@."
+                (Ccdb_model.Protocol.to_string ct.c_protocol)
+                ct.c_item ct.waits ct.wait_time ct.rejections ct.backoffs)
+          cont
+      end;
+      Format.printf "@.windows (%g units each):@." window;
+      List.iter
+        (fun (w : Ccdb_insights.Collector.window) ->
+          Format.printf
+            "  w%-3d committed=%-5d restarts=%-4d conflicts=%-4d mean S=%-9s \
+             mix: %s@."
+            w.index w.w_committed w.w_restarts w.w_conflicts
+            (if w.w_committed = 0 then "-"
+             else
+               Printf.sprintf "%.1f"
+                 (w.w_latency_sum /. float_of_int w.w_committed))
+            (String.concat " "
+               (List.filter_map
+                  (fun (p, n) ->
+                    if n = 0 then None
+                    else
+                      Some
+                        (Printf.sprintf "%s=%d"
+                           (Ccdb_model.Protocol.to_string p) n))
+                  w.w_by_protocol)))
+        (Ccdb_insights.Collector.windows c)
+    end;
+    (match json_path with
+     | None -> ()
+     | Some "-" -> print_endline (Ccdb_util.Json.to_string doc)
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Ccdb_util.Json.to_string doc);
+       output_char oc '\n';
+       close_out oc;
+       if human then Format.printf "@.(wrote %s)@." path);
+    if check then begin
+      let fail msg =
+        Format.eprintf "insights schema check FAILED: %s@." msg;
+        exit 1
+      in
+      (match Ccdb_insights.Collector.validate doc with
+       | Ok () -> ()
+       | Error e -> fail e);
+      (match Ccdb_util.Json.of_string (Ccdb_util.Json.to_string doc) with
+       | Error e -> fail ("round-trip parse: " ^ e)
+       | Ok reparsed -> (
+         match Ccdb_insights.Collector.validate reparsed with
+         | Ok () -> ()
+         | Error e -> fail ("round-trip: " ^ e)));
+      if human then Format.printf "schema check: ok (%s)@."
+          Ccdb_insights.Collector.schema_version
+    end
+  in
+  Cmd.v
+    (Cmd.info "insights"
+       ~doc:
+         "Run one simulation with the workload-insights collector attached \
+          and report per-fingerprint latency percentiles, per-item \
+          contention counters and the windowed time series — the same \
+          document the adaptive selector's measured mode acts on.  \
+          $(b,--json) emits the versioned ccdb-insights/1 document \
+          (OBSERVABILITY.md documents every field); $(b,--check) validates \
+          it against the schema and exits 1 on a violation.")
+    Term.(
+      const run $ mode $ adaptive $ reselect $ lambda $ txns $ sites $ items
+      $ repl $ qr $ seed $ window $ phases $ json_path $ check $ top)
+
 (* ------------------------------------------------------------------ stl *)
 
 let stl_cmd =
@@ -697,4 +992,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ccdb_cli" ~doc)
           [ run_cmd; analyze_cmd; experiments_cmd; faults_cmd; recover_cmd;
-            sweep_cmd; stl_cmd ]))
+            sweep_cmd; insights_cmd; stl_cmd ]))

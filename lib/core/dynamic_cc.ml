@@ -1,3 +1,8 @@
+type adaptivity =
+  | Configured of Ccdb_stl.Analytic.workload
+  | Cumulative
+  | Measured of { window : float }
+
 type config = {
   unified : Unified_system.config;
   candidates : Ccdb_model.Protocol.t list;
@@ -5,6 +10,7 @@ type config = {
   priors : Ccdb_stl.Estimator.priors;
   reselect_on_restart : bool;
   criterion : Ccdb_stl.Selector.criterion;
+  adaptive : adaptivity;
 }
 
 let default_config =
@@ -13,7 +19,8 @@ let default_config =
     class_cache_ttl = 100.;
     priors = Ccdb_stl.Estimator.default_priors;
     reselect_on_restart = false;
-    criterion = Ccdb_stl.Selector.Min_stl }
+    criterion = Ccdb_stl.Selector.Min_stl;
+    adaptive = Cumulative }
 
 type t = {
   rt : Ccdb_protocols.Runtime.t;
@@ -24,10 +31,27 @@ type t = {
 }
 
 let create ?(config = default_config) rt =
-  let estimator = Ccdb_stl.Estimator.create ~priors:config.priors rt in
+  let source =
+    match config.adaptive with
+    | Measured { window } -> Ccdb_stl.Estimator.Windowed window
+    | Configured _ | Cumulative -> Ccdb_stl.Estimator.Cumulative
+  in
+  let estimator =
+    Ccdb_stl.Estimator.create ~priors:config.priors ~source rt
+  in
+  let snapshot =
+    match config.adaptive with
+    | Configured workload ->
+      (* design-time parameters, computed once; the selector never sees a
+         measurement (the analytical option of section 5.2) *)
+      let snap = Ccdb_stl.Analytic.snapshot workload in
+      Some (fun () -> snap)
+    | Cumulative | Measured _ -> None
+  in
   let selector =
     Ccdb_stl.Selector.create ~candidates:config.candidates
       ~criterion:config.criterion ~class_cache_ttl:config.class_cache_ttl
+      ?snapshot
       (Ccdb_protocols.Runtime.catalog rt)
       estimator
   in

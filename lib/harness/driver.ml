@@ -1,5 +1,7 @@
 module Rt = Ccdb_protocols.Runtime
 
+type adaptive = Cumulative | Measured of float | Configured
+
 type setup = {
   sites : int;
   items : int;
@@ -11,6 +13,8 @@ type setup = {
   detection : Ccdb_protocols.Deadlock.detection;
   thomas_write_rule : bool;
   prevention : Ccdb_protocols.Two_pl_system.prevention;
+  adaptive : adaptive;
+  reselect : bool;
 }
 
 let default_setup =
@@ -19,7 +23,8 @@ let default_setup =
     restart_delay = 50.; restart_cap = 800.;
     detection = Ccdb_protocols.Deadlock.default_detection;
     thomas_write_rule = false;
-    prevention = Ccdb_protocols.Two_pl_system.No_prevention }
+    prevention = Ccdb_protocols.Two_pl_system.No_prevention;
+    adaptive = Cumulative; reselect = false }
 
 type mode =
   | Pure of Ccdb_model.Protocol.t
@@ -60,7 +65,8 @@ let force_protocol protocol (txn : Ccdb_model.Txn.t) =
     Ccdb_model.Txn.make ~id:txn.id ~site:txn.site ~read_set:txn.read_set
       ~write_set:txn.write_set ~compute_time:txn.compute_time ~protocol
 
-let build_system ~(setup : setup) mode rt =
+let build_system ~(setup : setup) ~(spec : Ccdb_workload.Generator.spec) mode
+    rt =
   let restart_delay = setup.restart_delay in
   let tally = Hashtbl.create 4 in
   let record (txn : Ccdb_model.Txn.t) =
@@ -144,11 +150,24 @@ let build_system ~(setup : setup) mode rt =
           Core.Unified_system.submit sys txn);
       decisions = decisions_of_tally }
   | Dynamic ->
+    let adaptive =
+      match setup.adaptive with
+      | Cumulative -> Core.Dynamic_cc.Cumulative
+      | Measured window -> Core.Dynamic_cc.Measured { window }
+      | Configured ->
+        (* design-time parameters from the (first-phase) spec: the selector
+           never sees a measurement, so it cannot track a phase change *)
+        Core.Dynamic_cc.Configured
+          (Ccdb_stl.Analytic.of_spec spec ~setup_items:setup.items
+             ~setup_replication:setup.replication ~setup_sites:setup.sites
+             ~one_way_delay:setup.net.Ccdb_sim.Net.base_delay)
+    in
     let config =
       { Core.Dynamic_cc.default_config with
         unified =
           { Core.Unified_system.default_config with restart_delay;
-            detection = setup.detection } }
+            detection = setup.detection };
+        adaptive; reselect_on_restart = setup.reselect }
     in
     let sys = Core.Dynamic_cc.create ~config rt in
     { submit = (fun txn -> Core.Dynamic_cc.submit sys txn);
@@ -173,8 +192,10 @@ let build_system ~(setup : setup) mode rt =
             (force_protocol Ccdb_model.Protocol.T_o txn));
       decisions = decisions_of_tally }
 
-let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
-    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode spec =
+(* shared run body: [arrivals_of] turns the workload RNG into the arrival
+   list; [spec] is the (first-phase) spec, needed for [Configured]. *)
+let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
+    ?replay_cost mode ~spec ~arrivals_of () =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
@@ -202,13 +223,9 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
       Rt.subscribe rt (fun e -> ignore (Ccdb_analysis.Stream.feed st e));
       Some st
   in
-  let system = build_system ~setup mode rt in
+  let system = build_system ~setup ~spec mode rt in
   let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
-  let generator =
-    Ccdb_workload.Generator.create spec ~sites:setup.sites ~items:setup.items
-      wl_rng
-  in
-  let arrivals = Ccdb_workload.Generator.generate generator ~n:n_txns ~start:0. in
+  let arrivals = arrivals_of wl_rng in
   List.iter
     (fun (at, txn) ->
       ignore
@@ -247,6 +264,30 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
   in
   { summary = Metrics.summarize rt; runtime = rt;
     decisions = system.decisions (); audit }
+
+let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
+    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode spec =
+  execute ~setup ?observer ~audit ~audit_path ?faults ?retry ?replay_cost mode
+    ~spec
+    ~arrivals_of:(fun rng ->
+      let generator =
+        Ccdb_workload.Generator.create spec ~sites:setup.sites
+          ~items:setup.items rng
+      in
+      Ccdb_workload.Generator.generate generator ~n:n_txns ~start:0.)
+    ()
+
+let run_phases ?(setup = default_setup) ?observer ?(audit = false)
+    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode phases =
+  match phases with
+  | [] -> invalid_arg "Driver.run_phases: no phases"
+  | (first_spec, _) :: _ ->
+    execute ~setup ?observer ~audit ~audit_path ?faults ?retry ?replay_cost
+      mode ~spec:first_spec
+      ~arrivals_of:(fun rng ->
+        Ccdb_workload.Generator.phased phases ~sites:setup.sites
+          ~items:setup.items rng)
+      ()
 
 let run_replicated ?(setup = default_setup) ?(n_txns = 200) ?(replications = 3)
     ?faults mode spec metric =

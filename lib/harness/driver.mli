@@ -1,6 +1,18 @@
 (** One-call experiment driver: build a runtime, pick a system, inject a
     workload, quiesce, summarize. *)
 
+(** Parameter source for the [Dynamic] mode's STL selector (inert in every
+    other mode); maps onto {!Core.Dynamic_cc.adaptivity}. *)
+type adaptive =
+  | Cumulative  (** whole-run online averages (the historical default) *)
+  | Measured of float
+      (** sliding-window measured λ over the trailing window (time units) —
+          the CLI's [--adaptive measured] *)
+  | Configured
+      (** design-time analytic parameters derived from the run's
+          (first-phase) workload spec via {!Ccdb_stl.Analytic.of_spec} —
+          never updated, so blind to phase changes *)
+
 type setup = {
   sites : int;
   items : int;
@@ -19,12 +31,18 @@ type setup = {
       (** enable the Thomas Write Rule in the pure T/O baseline *)
   prevention : Ccdb_protocols.Two_pl_system.prevention;
       (** deadlock prevention policy for the pure 2PL baseline *)
+  adaptive : adaptive;
+      (** STL parameter source for the [Dynamic] mode *)
+  reselect : bool;
+      (** re-run the selector when a [Dynamic] transaction restarts
+          ({!Core.Dynamic_cc.config.reselect_on_restart}, the paper's
+          future-work item 4, measured by X6); inert in every other mode *)
 }
 
 val default_setup : setup
 (** 4 sites, 32 items, replication 2, default network, seed 42,
     restart_delay 50., restart_cap 800., centralized detection, Thomas
-    Write Rule off. *)
+    Write Rule off, cumulative adaptivity, reselection off. *)
 
 (** Which concurrency-control system executes the workload. *)
 type mode =
@@ -96,6 +114,26 @@ val run :
     time charged per WAL record at recovery (fail-stop plans only; see
     {!Ccdb_sim.Recovery}).
     @raise Failure if the run livelocks (event budget exhausted). *)
+
+val run_phases :
+  ?setup:setup ->
+  ?observer:(Ccdb_protocols.Runtime.t -> unit) ->
+  ?audit:bool ->
+  ?audit_path:audit_path ->
+  ?faults:Ccdb_sim.Fault_plan.t ->
+  ?retry:Ccdb_sim.Net.retry ->
+  ?replay_cost:float ->
+  mode ->
+  (Ccdb_workload.Generator.spec * int) list ->
+  result
+(** Like {!run} but over a non-stationary, phased workload
+    ({!Ccdb_workload.Generator.phased}): each [(spec, n)] phase draws [n]
+    transactions whose arrivals continue from the previous phase's last
+    arrival.  Under [Configured] adaptivity the analytic parameters come
+    from the {e first} phase's spec — by construction blind to the phase
+    change, which is exactly what experiment E14 measures against the
+    measured-λ source.
+    @raise Invalid_argument on an empty phase list. *)
 
 val run_replicated :
   ?setup:setup ->

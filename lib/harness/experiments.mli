@@ -7,7 +7,7 @@
     inside the test suite; the benchmark binary runs full size. *)
 
 type outcome = {
-  id : string;                 (** "E1" ... "E13", "X1" ... *)
+  id : string;                 (** "E1" ... "E14", "X1" ... *)
   title : string;
   claim : string;              (** the paper's claim, quoted/paraphrased *)
   table : Ccdb_util.Table.t;
@@ -60,6 +60,13 @@ val e13_audit_cost : ?quick:bool -> unit -> outcome
     work stays flat per event (deterministic counters, never wall-clock;
     DESIGN.md section 12). *)
 
+val e14_phase_change : ?quick:bool -> unit -> outcome
+(** Phase-change workload (read-heavy calm, then a hot-key zipfian write
+    storm): measured-lambda adaptivity ({!Driver.adaptive} [Measured]) vs
+    cumulative and design-time parameter sources and every static protocol,
+    with the mid-run protocol switch read off the insights windows
+    (DESIGN.md section 13, OBSERVABILITY.md). *)
+
 (** {2 Extension experiments}
 
     X-experiments go beyond the paper's explicit claims but stay inside its
@@ -103,7 +110,7 @@ type staged
 (** One experiment, decomposed but not yet run. *)
 
 val staged : ?quick:bool -> unit -> staged list
-(** Every experiment in order (E1-E13 then X1-X7), decomposed. *)
+(** Every experiment in order (E1-E14 then X1-X7), decomposed. *)
 
 val points_count : staged -> int
 (** Number of independent points the experiment fans out. *)
@@ -118,7 +125,7 @@ val run_one : staged -> outcome
 (** Runs the points serially, in order, and assembles. *)
 
 val all : ?quick:bool -> ?runner:((unit -> unit) list -> unit) -> unit -> outcome list
-(** Every experiment in order (E1-E13 then X1-X7).  [runner] receives the
+(** Every experiment in order (E1-E14 then X1-X7).  [runner] receives the
     flattened point tasks of all experiments and must run each exactly once
     (default: serially, in order); outcomes are assembled in experiment
     order afterwards regardless of how the runner scheduled the tasks. *)

@@ -1,0 +1,22 @@
+type t = {
+  reads : int;
+  writes : int;
+  protocol : Ccdb_model.Protocol.t;
+}
+
+let of_txn (txn : Ccdb_model.Txn.t) =
+  { reads = List.length txn.read_set;
+    writes = List.length txn.write_set;
+    protocol = txn.protocol }
+
+let to_string t =
+  Printf.sprintf "r%dw%d/%s" t.reads t.writes
+    (Ccdb_model.Protocol.to_string t.protocol)
+
+let compare a b =
+  match Int.compare a.reads b.reads with
+  | 0 -> (
+    match Int.compare a.writes b.writes with
+    | 0 -> Ccdb_model.Protocol.compare a.protocol b.protocol
+    | c -> c)
+  | c -> c

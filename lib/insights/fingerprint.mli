@@ -1,0 +1,32 @@
+(** Transaction fingerprints: the identity under which the insights layer
+    aggregates.
+
+    Modeled on CockroachDB's statement/transaction fingerprints — there, a
+    statement is normalised by stripping its literals; here, a transaction
+    is normalised to its {e shape}: how many items it reads, how many it
+    writes, and the protocol it ran under.  Two transactions with the same
+    fingerprint contend for the same class of resources and cost the same
+    under the STL model (which prices footprints, not item identities), so
+    their latencies belong in one histogram.  The (reads, writes) pair is
+    exactly the class key of {!Ccdb_stl.Selector.choose}, which makes the
+    fingerprint tables directly comparable with the selector's class-cache
+    decisions. *)
+
+type t = {
+  reads : int;   (** logical items in the read set *)
+  writes : int;  (** logical items in the write set *)
+  protocol : Ccdb_model.Protocol.t;
+      (** protocol the transaction {e executed} under — for a dynamic run
+          this is the selector's choice, not the workload's assignment *)
+}
+
+val of_txn : Ccdb_model.Txn.t -> t
+(** Fingerprint of a transaction as it ran (its [protocol] field). *)
+
+val to_string : t -> string
+(** ["r<reads>w<writes>/<protocol>"], e.g. ["r2w1/2pl"] — the key used in
+    the insights JSON document and the CLI tables. *)
+
+val compare : t -> t -> int
+(** Total order: by reads, then writes, then protocol — the deterministic
+    emission order of every fingerprint table. *)

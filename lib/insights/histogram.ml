@@ -1,0 +1,133 @@
+let sub_buckets = 16
+
+type t = {
+  counts : (int, int ref) Hashtbl.t; (* bucket index -> samples *)
+  mutable total : int;
+}
+
+let create () = { counts = Hashtbl.create 32; total = 0 }
+
+(* Bucket 0 is [0, 1); index 1 + 16*e + sub covers
+   [2^e * (1 + sub/16), 2^e * (1 + (sub+1)/16)).  The layout is a pure
+   function of the value, so two histograms always agree on it. *)
+let index_of v =
+  if v < 1. then 0
+  else begin
+    let m, e' = Float.frexp v in
+    (* v = (2m) * 2^(e'-1) with 2m in [1, 2) *)
+    let e = e' - 1 in
+    let sub =
+      min (sub_buckets - 1)
+        (int_of_float ((2. *. m -. 1.) *. float_of_int sub_buckets))
+    in
+    1 + (sub_buckets * e) + sub
+  end
+
+let bounds idx =
+  if idx = 0 then (0., 1.)
+  else
+    let e = (idx - 1) / sub_buckets in
+    let sub = (idx - 1) mod sub_buckets in
+    let edge s =
+      Float.ldexp (1. +. (float_of_int s /. float_of_int sub_buckets)) e
+    in
+    (edge sub, edge (sub + 1))
+
+let record t v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg "Histogram.record: negative or non-finite value";
+  let idx = index_of v in
+  (match Hashtbl.find_opt t.counts idx with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.counts idx (ref 1));
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let sorted_buckets t =
+  Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.counts []
+  |> List.filter (fun (_, n) -> n > 0)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let merge a b =
+  let m = create () in
+  let add (idx, n) =
+    (match Hashtbl.find_opt m.counts idx with
+     | Some r -> r := !r + n
+     | None -> Hashtbl.add m.counts idx (ref n));
+    m.total <- m.total + n
+  in
+  List.iter add (sorted_buckets a);
+  List.iter add (sorted_buckets b);
+  m
+
+let percentile t p =
+  if p < 0. || p > 100. then
+    invalid_arg "Histogram.percentile: p outside [0, 100]";
+  if t.total = 0 then Float.nan
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int t.total)))
+    in
+    let rec walk seen = function
+      | [] -> assert false (* cumulative count reaches total *)
+      | (idx, n) :: rest ->
+        if seen + n >= rank then snd (bounds idx) else walk (seen + n) rest
+    in
+    walk 0 (sorted_buckets t)
+  end
+
+let buckets t =
+  List.map
+    (fun (idx, n) ->
+      let lo, hi = bounds idx in
+      (idx, lo, hi, n))
+    (sorted_buckets t)
+
+let equal a b = sorted_buckets a = sorted_buckets b
+
+let to_json t =
+  let open Ccdb_util.Json in
+  let percentiles =
+    if t.total = 0 then []
+    else
+      [ ("p50", Num (percentile t 50.)); ("p90", Num (percentile t 90.));
+        ("p99", Num (percentile t 99.)) ]
+  in
+  Obj
+    (("count", Num (float_of_int t.total))
+     :: percentiles
+    @ [ ( "buckets",
+          List
+            (List.map
+               (fun (idx, lo, hi, n) ->
+                 Obj
+                   [ ("bucket", Num (float_of_int idx)); ("lo", Num lo);
+                     ("hi", Num hi); ("n", Num (float_of_int n)) ])
+               (buckets t)) ) ])
+
+let of_json j =
+  let open Ccdb_util.Json in
+  match Option.bind (member "buckets" j) to_list with
+  | None -> Error "histogram: missing buckets list"
+  | Some bs ->
+    let t = create () in
+    let rec load = function
+      | [] -> Ok t
+      | b :: rest -> (
+        match
+          ( Option.bind (member "bucket" b) to_float,
+            Option.bind (member "n" b) to_float )
+        with
+        | Some idx, Some n
+          when Float.is_integer idx && Float.is_integer n && idx >= 0.
+               && n > 0. ->
+          let idx = int_of_float idx and n = int_of_float n in
+          (match Hashtbl.find_opt t.counts idx with
+           | Some r -> r := !r + n
+           | None -> Hashtbl.add t.counts idx (ref n));
+          t.total <- t.total + n;
+          load rest
+        | _ -> Error "histogram: bucket entry needs integer bucket >= 0, n > 0")
+    in
+    load bs

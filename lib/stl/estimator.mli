@@ -31,16 +31,47 @@ type snapshot = {
           observation *)
 }
 
-type t
+(** Where the rate-like estimates come from.
 
-val create : ?priors:priors -> Ccdb_protocols.Runtime.t -> t
-(** Subscribes to the runtime's event stream immediately. *)
+    Lock hold times and per-protocol response times are exponential moving
+    averages either way (they adapt by construction); the source decides
+    how throughputs, Q{_r}, k and the failure probabilities are computed. *)
+type source =
+  | Cumulative
+      (** whole-run averages: counts since creation over elapsed time.
+          Stable, but blind to mid-run workload shifts — after a phase
+          change the old phase keeps diluting the rates forever. *)
+  | Windowed of float
+      (** sliding-window measurement over the trailing [window] time
+          units: λ, per-copy rates, Q{_r}, k and the failure probabilities
+          are computed from windowed event counts, so a phase change is
+          fully reflected one window later.  The window is 8 fixed
+          buckets; expiry is per bucket, O(1) per event.  A window that
+          drains completely falls back to the cumulative values (stale
+          estimates beat undefined ones), and windowed failure
+          probabilities are shrunk towards the cumulative EMA with a small
+          pseudo-count so rare events (deadlocks, rejections) are not
+          forgotten the moment they expire from the window.  This is the
+          measured-λ source behind [--adaptive measured]
+          (OBSERVABILITY.md). *)
+
+type t
+(** A live estimator, subscribed to one runtime's event stream. *)
+
+val create :
+  ?priors:priors -> ?source:source -> Ccdb_protocols.Runtime.t -> t
+(** Subscribes to the runtime's event stream immediately.  [source]
+    defaults to [Cumulative] (the historical behaviour).
+    @raise Invalid_argument on [Windowed w] with [w <= 0.]. *)
 
 val snapshot : t -> snapshot
 (** Current estimates.  Copies with no observed traffic report rate 0;
     protocols with no observations fall back to the priors.  [params.k] and
     [params.q_r] are estimated across all protocols; [params.lambda_a] is
     the sum of all per-copy rates (at least a small epsilon, so
-    {!Stl_model.stl'} stays defined). *)
+    {!Stl_model.stl'} stays defined).  Under a [Windowed] source all of
+    these come from the trailing window (see {!source}). *)
 
 val observed_commits : t -> int
+(** Commits seen since creation — the cumulative count even under a
+    [Windowed] source (used to decide whether any data exists at all). *)

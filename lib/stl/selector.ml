@@ -49,15 +49,20 @@ type t = {
   criterion : criterion;
   ttl : float;
   catalog : Ccdb_storage.Catalog.t;
-  estimator : Estimator.t;
+  snapshot : unit -> Estimator.snapshot;
   cache : (int * int, float * verdict) Hashtbl.t; (* class -> expiry, verdict *)
   counts : (Ccdb_model.Protocol.t, int ref) Hashtbl.t;
 }
 
 let create ?(candidates = Ccdb_model.Protocol.all) ?(criterion = Min_stl)
-    ?(class_cache_ttl = 200.) catalog estimator =
+    ?(class_cache_ttl = 200.) ?snapshot catalog estimator =
   if candidates = [] then invalid_arg "Selector.create: no candidates";
-  { candidates; criterion; ttl = class_cache_ttl; catalog; estimator;
+  let snapshot =
+    match snapshot with
+    | Some f -> f
+    | None -> fun () -> Estimator.snapshot estimator
+  in
+  { candidates; criterion; ttl = class_cache_ttl; catalog; snapshot;
     cache = Hashtbl.create 32; counts = Hashtbl.create 4 }
 
 let record t protocol =
@@ -72,7 +77,7 @@ let choose t ~now (txn : Ccdb_model.Txn.t) =
       footprint t.catalog ~site:txn.site ~read_set:txn.read_set
         ~write_set:txn.write_set
     in
-    let snap = Estimator.snapshot t.estimator in
+    let snap = t.snapshot () in
     let verdict =
       evaluate ~candidates:t.candidates ~criterion:t.criterion snap fp
     in

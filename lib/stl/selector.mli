@@ -42,16 +42,22 @@ val evaluate :
     list. *)
 
 type t
+(** A selector with its class-decision cache and snapshot source. *)
 
 val create :
   ?candidates:Ccdb_model.Protocol.t list ->
   ?criterion:criterion ->
   ?class_cache_ttl:float ->
+  ?snapshot:(unit -> Estimator.snapshot) ->
   Ccdb_storage.Catalog.t ->
   Estimator.t ->
   t
 (** [class_cache_ttl] (default 200. time units) controls how long a class
-    decision is reused before re-evaluating; [0.] disables caching. *)
+    decision is reused before re-evaluating; [0.] disables caching.
+    [snapshot] overrides where fresh evaluations read their STL inputs
+    (default: [Estimator.snapshot] of the given estimator) — this is how
+    {!Core.Dynamic_cc} plugs in the analytic design-time parameters for
+    its [Configured] adaptivity. *)
 
 val choose : t -> now:float -> Ccdb_model.Txn.t -> verdict
 (** Selects a protocol for the transaction (its own [protocol] field is

@@ -115,6 +115,23 @@ let generate t ~n ~start =
   in
   go [] start n
 
+let phased phases ~sites ~items rng =
+  if phases = [] then invalid_arg "Generator.phased: no phases";
+  let _, _, rev =
+    List.fold_left
+      (fun (next_id, start, acc) (spec, n) ->
+        if n < 1 then invalid_arg "Generator.phased: phase count < 1";
+        let gen = create spec ~sites ~items rng in
+        gen.next_id <- next_id;
+        let arrivals = generate gen ~n ~start in
+        let last_at =
+          match arrivals with [] -> start | _ -> fst (List.nth arrivals (n - 1))
+        in
+        (gen.next_id, last_at, List.rev_append arrivals acc))
+      (1, 0., []) phases
+  in
+  List.rev rev
+
 let of_trace arrivals =
   let rec check last_at seen = function
     | [] -> ()

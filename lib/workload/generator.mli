@@ -46,6 +46,22 @@ val generate : t -> n:int -> start:float -> (float * Ccdb_model.Txn.t) list
     transactions arise naturally from the mix (a transaction whose draw
     leaves it with no accesses gets one access forced). *)
 
+val phased :
+  (spec * int) list ->
+  sites:int ->
+  items:int ->
+  Ccdb_util.Rng.t ->
+  (float * Ccdb_model.Txn.t) list
+(** [phased [(spec1, n1); (spec2, n2); ...] ~sites ~items rng] concatenates
+    the phases of a non-stationary workload: [n1] transactions drawn from
+    [spec1], then [n2] from [spec2] whose Poisson arrivals continue from the
+    last arrival of phase 1, and so on.  Transaction ids keep increasing
+    across phases, so the result is a valid trace ({!of_trace} accepts it)
+    and flows through the same driver path as a single-spec workload.  Used
+    by the phase-change experiment E14.
+    @raise Invalid_argument on an empty phase list, a non-positive phase
+    count, or an invalid spec (as {!validate}). *)
+
 val of_trace : (float * Ccdb_model.Txn.t) list -> (float * Ccdb_model.Txn.t) list
 (** Trace replay helper: validates a hand-written or recorded arrival list
     (times non-decreasing, ids unique) and returns it unchanged, so traces

@@ -13,4 +13,5 @@ let () =
     @ Test_analysis.suites
     @ Test_faults.suites
     @ Test_recovery.suites
-    @ Test_parallel.suites)
+    @ Test_parallel.suites
+    @ Test_insights.suites)

@@ -76,7 +76,7 @@ let test_experiments_jobs_identical () =
 
 let test_staged_counts () =
   let staged = Ccdb_harness.Experiments.staged ~quick:true () in
-  check Alcotest.int "20 experiments" 20 (List.length staged);
+  check Alcotest.int "21 experiments" 21 (List.length staged);
   List.iter
     (fun s ->
       check Alcotest.bool "every experiment has points" true
