@@ -1,5 +1,5 @@
 (* The benchmark binary: regenerates every reproduced experiment table
-   (E1-E14 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
+   (E1-E15 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
    runs bechamel micro-benchmarks of the core data structures.
 
    Run with: dune exec bench/main.exe
@@ -14,6 +14,7 @@ let micro_only = ref false
 let exp_only = ref false
 let audit = ref false
 let jobs = ref (Ccdb_harness.Parallel.default_jobs ())
+let shards = ref 1
 let json_path = ref None
 let insights_path = ref None
 
@@ -27,6 +28,9 @@ let () =
       ("--jobs", Arg.Set_int jobs,
        "N fan experiment points across N domains (default: recommended \
         domain count)");
+      ("--shards", Arg.Set_int shards,
+       "N run every experiment on an N-shard engine (default 1; with \
+        --json the suite is additionally timed at 1/2/4 shards)");
       ("--json", Arg.String (fun p -> json_path := Some p),
        "FILE write a machine-readable baseline (ns/op, r^2, wall-clocks) \
         to FILE");
@@ -46,8 +50,11 @@ let micro_only = !micro_only
 let exp_only = !exp_only
 let audit = !audit
 let jobs = max 1 !jobs
+let shards = max 1 !shards
 let json_path = !json_path
 let insights_path = !insights_path
+
+let () = if shards > 1 then Ccdb_harness.Driver.set_default_shards shards
 
 (* ----------------------------------------------------------------- audit *)
 
@@ -99,6 +106,9 @@ type exp_stats = {
   (* (jobs, wall-clock, tables byte-identical to serial) when a parallel
      pass ran as well *)
   parallel : (int * float * bool) option;
+  (* (shards, wall-clock, tables byte-identical to the serial pass) for
+     the 1/2/4-shard sweep that --json triggers *)
+  sharded : (int * float * bool) list;
 }
 
 let render_all outcomes =
@@ -110,9 +120,41 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* The determinism sweep behind BENCH.json's "sharded" section: the whole
+   suite re-run on a 2- and 4-shard engine (single job, so the only change
+   is the engine partitioning) and compared byte-for-byte against the
+   serial pass.  Setups that pin their own shard count (E15) are immune to
+   the default, so their tables compare too. *)
+let run_sharded serial_s serial_txt =
+  let passes =
+    List.map
+      (fun s ->
+        if s = 1 && shards = 1 then (1, serial_s, true)
+        else begin
+          Ccdb_harness.Driver.set_default_shards (if s = 1 then 0 else s);
+          let outs, secs =
+            timed (fun () -> Ccdb_harness.Parallel.experiments ~quick ~jobs:1 ())
+          in
+          let identical = String.equal (render_all outs) serial_txt in
+          (s, secs, identical)
+        end)
+      [ 1; 2; 4 ]
+  in
+  Ccdb_harness.Driver.set_default_shards (if shards > 1 then shards else 0);
+  List.iter
+    (fun (s, secs, identical) ->
+      Printf.printf "(suite at %d shard%s: %.2fs, tables %s)\n" s
+        (if s = 1 then "" else "s")
+        secs
+        (if identical then "byte-identical" else "DIFFER"))
+    passes;
+  print_newline ();
+  passes
+
 (* With [--json] the suite runs twice — serially and at [jobs] domains — so
    the baseline records both wall-clocks and pins that the parallel tables
-   are byte-identical.  Without it the suite runs once at [jobs]. *)
+   are byte-identical; the 1/2/4-shard sweep then re-runs it on the
+   partitioned engine.  Without it the suite runs once at [jobs]. *)
 let run_experiments () =
   print_endline "=== Paper reproduction: one table per experiment ===";
   print_endline
@@ -145,7 +187,10 @@ let run_experiments () =
         Some (jobs, par_s, identical)
       end
     in
-    { n_experiments; n_points; serial_s; parallel }
+    let sharded =
+      if json_path = None then [] else run_sharded serial_s serial_txt
+    in
+    { n_experiments; n_points; serial_s; parallel; sharded }
   end
   else begin
     let outs, par_s =
@@ -155,7 +200,7 @@ let run_experiments () =
     (* a single parallel pass has no serial wall-clock to compare against;
        record what ran *)
     { n_experiments; n_points; serial_s = par_s;
-      parallel = Some (jobs, par_s, true) }
+      parallel = Some (jobs, par_s, true); sharded = [] }
   end
 
 (* ------------------------------------------------------ micro-benchmarks *)
@@ -406,55 +451,165 @@ let bench_end_to_end =
             (Ccdb_harness.Driver.run ~setup ~n_txns:40
                Ccdb_harness.Driver.Unified spec)))
 
+let bench_sharded_sim =
+  (* the same 40-transaction unified simulation on a 2-shard engine: the
+     overhead (or win) of the conservative-window merge relative to
+     unified.sim-40txn is the sharding cost the DESIGN.md section 14
+     roadmap tracks *)
+  Bechamel.Test.make ~name:"engine.sharded-sim"
+    (Bechamel.Staged.stage
+       (let spec =
+          { Ccdb_workload.Generator.default with
+            arrival_rate = 0.2;
+            protocol_mix =
+              [ (Ccdb_model.Protocol.Two_pl, 1.);
+                (Ccdb_model.Protocol.T_o, 1.); (Ccdb_model.Protocol.Pa, 1.) ] }
+        in
+        let setup =
+          { Ccdb_harness.Driver.default_setup with
+            items = 12; sites = 3; shards = 2 }
+        in
+        fun () ->
+          ignore
+            (Ccdb_harness.Driver.run ~setup ~n_txns:40
+               Ccdb_harness.Driver.Unified spec)))
+
+(* A micro-benchmark result after the confidence pass below. *)
+type micro_row = {
+  m_name : string;
+  m_ns : float;        (* ns per operation, OLS slope over (runs, time) *)
+  m_r2 : float;        (* r^2 of that single-predictor fit *)
+  m_kept : int;        (* samples surviving the outlier trim *)
+  m_dropped : int;     (* samples trimmed as outliers *)
+}
+
+let confidence_line = 0.9
+
+(* Bechamel's stock OLS fits every raw sample, including the cold-start
+   ones taken at the smallest iteration counts and any sample a GC slice or
+   scheduler preemption landed in — which is exactly what left wal.append
+   at r^2 = 0.68 and analysis.stream-feed at 0.78 in the ccdb-bench/3
+   baseline.  This pass (a) drops the earliest eighth of the samples as
+   warmup on top of the discarded warmup run, then (b) trims samples whose
+   per-iteration cost sits more than 5 MADs (with a 5% relative floor, so
+   ultra-stable tests keep their samples) from the median, and (c) fits
+   time = overhead + ns_per_op * runs — the intercept absorbs the fixed
+   per-sample measurement cost (clock reads, loop setup) that otherwise
+   wrecks the fit for operations in the tens of nanoseconds.  Rows still
+   under the 0.9 line are flagged in the table and in BENCH.json rather
+   than silently recorded. *)
+let analyze_raw (b : Bechamel.Benchmark.t) =
+  let label =
+    Bechamel.Measure.label Bechamel.Toolkit.Instance.monotonic_clock
+  in
+  let samples =
+    Array.to_list b.Bechamel.Benchmark.lr
+    |> List.filter_map (fun m ->
+           let runs = Bechamel.Measurement_raw.run m in
+           if runs <= 0. then None
+           else Some (runs, Bechamel.Measurement_raw.get ~label m))
+  in
+  (* never warm-drop more than half of what bechamel managed to take: a
+     slow test under a large post-experiments heap can yield only a
+     handful of samples *)
+  let warm = min (max 3 (List.length samples / 8)) (List.length samples / 2) in
+  let samples = List.filteri (fun i _ -> i >= warm) samples in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let med = median (List.map (fun (r, t) -> t /. r) samples) in
+  let mad =
+    median (List.map (fun (r, t) -> Float.abs ((t /. r) -. med)) samples)
+  in
+  let band = Float.max (5. *. mad) (0.05 *. Float.abs med) in
+  let kept, rejected =
+    List.partition
+      (fun (r, t) -> Float.abs ((t /. r) -. med) <= band)
+      samples
+  in
+  let kept = if kept = [] then samples else kept in
+  let sum f = List.fold_left (fun acc x -> acc +. f x) 0. kept in
+  let n = float_of_int (List.length kept) in
+  let sx = sum (fun (r, _) -> r) and sy = sum (fun (_, t) -> t) in
+  let sxx = sum (fun (r, _) -> r *. r) in
+  let sxy = sum (fun (r, t) -> r *. t) in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  let ns =
+    if denom = 0. then sy /. Float.max sx 1.
+    else ((n *. sxy) -. (sx *. sy)) /. denom
+  in
+  let intercept = (sy -. (ns *. sx)) /. n in
+  let mean_t = sy /. n in
+  let ss_res =
+    sum (fun (r, t) ->
+        let e = t -. (intercept +. (ns *. r)) in
+        e *. e)
+  in
+  let ss_tot =
+    sum (fun (_, t) ->
+        let d = t -. mean_t in
+        d *. d)
+  in
+  let r2 = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  (ns, r2, List.length kept, List.length rejected)
+
 let run_micro () =
-  print_endline "=== Micro-benchmarks (bechamel, ns/op via OLS) ===";
+  print_endline
+    "=== Micro-benchmarks (warmed, outlier-trimmed, intercept-aware OLS) ===";
   let tests =
     Bechamel.Test.make_grouped ~name:"ccdb"
       [ bench_precedence_compare; bench_semi_lock_cycle; bench_lock_table_cycle;
         bench_wal_append; bench_wal_replay; bench_stl_eval;
         bench_conflict_check; bench_incremental_edge; bench_stream_feed;
-        bench_heap; bench_end_to_end ]
+        bench_heap; bench_end_to_end; bench_sharded_sim ]
   in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  (* discarded warmup pass: every staged closure runs until code, caches
+     and branch predictors are hot before the measured pass starts *)
+  let warm_cfg =
+    Bechamel.Benchmark.cfg ~limit:500
+      ~quota:(Bechamel.Time.second (if quick then 0.02 else 0.1))
+      ()
+  in
+  ignore (Bechamel.Benchmark.all warm_cfg instances tests);
+  (* a 10% geometric run-count growth from a 10-iteration start gives the
+     regression a wide leverage range within the quota (the stock 1%
+     growth keeps every sample at nearly the same x, so one noisy sample
+     wrecked r^2 for the nanosecond-scale tests) *)
   let cfg =
-    Bechamel.Benchmark.cfg ~limit:2000
+    Bechamel.Benchmark.cfg ~limit:2000 ~start:10 ~sampling:(`Geometric 1.1)
       ~quota:(Bechamel.Time.second (if quick then 0.1 else 0.5))
       ()
   in
-  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
   let raw = Bechamel.Benchmark.all cfg instances tests in
-  let ols =
-    Bechamel.Analyze.ols ~r_square:true ~bootstrap:0
-      ~predictors:[| Bechamel.Measure.run |]
-  in
-  let results =
-    Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw
-  in
   let rows =
     Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some (est :: _) -> est
-          | Some [] | None -> Float.nan
-        in
-        let r2 =
-          Option.value ~default:Float.nan (Bechamel.Analyze.OLS.r_square ols)
-        in
-        (name, ns, r2) :: acc)
-      results []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      (fun name b acc ->
+        let ns, r2, kept, dropped = analyze_raw b in
+        { m_name = name; m_ns = ns; m_r2 = r2; m_kept = kept;
+          m_dropped = dropped }
+        :: acc)
+      raw []
+    |> List.sort (fun a b -> compare a.m_name b.m_name)
   in
   let table =
     Ccdb_util.Table.create
       ~columns:
         [ ("benchmark", Ccdb_util.Table.Left); ("ns/op", Ccdb_util.Table.Right);
-          ("r^2", Ccdb_util.Table.Right) ]
+          ("r^2", Ccdb_util.Table.Right);
+          ("samples", Ccdb_util.Table.Right);
+          ("trimmed", Ccdb_util.Table.Right);
+          ("note", Ccdb_util.Table.Left) ]
   in
   List.iter
-    (fun (name, ns, r2) ->
+    (fun r ->
       Ccdb_util.Table.add_row table
-        [ name; Ccdb_util.Table.fmt_float ~decimals:1 ns;
-          Ccdb_util.Table.fmt_float ~decimals:4 r2 ])
+        [ r.m_name; Ccdb_util.Table.fmt_float ~decimals:1 r.m_ns;
+          Ccdb_util.Table.fmt_float ~decimals:4 r.m_r2;
+          string_of_int r.m_kept; string_of_int r.m_dropped;
+          (if r.m_r2 < confidence_line then "LOW CONFIDENCE" else "") ])
     rows;
   print_string (Ccdb_util.Table.render table);
   rows
@@ -469,10 +624,13 @@ let write_json path ~exp ~micro =
     | Some rows ->
       List
         (List.map
-           (fun (name, ns, r2) ->
+           (fun r ->
              Obj
-               [ ("name", Str name); ("ns_per_op", Num ns);
-                 ("r_square", Num r2) ])
+               [ ("name", Str r.m_name); ("ns_per_op", Num r.m_ns);
+                 ("r_square", Num r.m_r2);
+                 ("samples_kept", Num (float_of_int r.m_kept));
+                 ("outliers_trimmed", Num (float_of_int r.m_dropped));
+                 ("low_confidence", Bool (r.m_r2 < confidence_line)) ])
            rows)
   in
   let exp_j =
@@ -483,21 +641,36 @@ let write_json path ~exp ~micro =
         ([ ("count", Num (float_of_int e.n_experiments));
            ("points", Num (float_of_int e.n_points));
            ("serial_wall_clock_s", Num e.serial_s) ]
+         @ (match e.parallel with
+           | None -> []
+           | Some (n, par_s, identical) ->
+             [ ("parallel_jobs", Num (float_of_int n));
+               ("parallel_wall_clock_s", Num par_s);
+               ("speedup", Num (e.serial_s /. par_s));
+               ("identical_tables", Bool identical) ])
          @
-         match e.parallel with
-         | None -> []
-         | Some (n, par_s, identical) ->
-           [ ("parallel_jobs", Num (float_of_int n));
-             ("parallel_wall_clock_s", Num par_s);
-             ("speedup", Num (e.serial_s /. par_s));
-             ("identical_tables", Bool identical) ])
+         match e.sharded with
+         | [] -> []
+         | passes ->
+           [ ( "sharded",
+               List
+                 (List.map
+                    (fun (s, secs, identical) ->
+                      Obj
+                        [ ("shards", Num (float_of_int s));
+                          ("wall_clock_s", Num secs);
+                          ("identical_tables", Bool identical) ])
+                    passes) ) ])
   in
   let doc =
     Obj
-      [ ("schema", Str "ccdb-bench/3");
+      [ ("schema", Str "ccdb-bench/4");
         ("quick", Bool quick);
-        ("cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        (* Parallel.cores: the parallelism actually available, so a
+           speedup <= 1 here reads as "cores-limited", not "overhead" *)
+        ("cores", Num (float_of_int (Ccdb_harness.Parallel.cores ())));
         ("jobs", Num (float_of_int jobs));
+        ("shards", Num (float_of_int shards));
         ("micro", micro_j);
         ("experiments", exp_j) ]
   in
@@ -556,8 +729,12 @@ let run_insights path =
 let () =
   if audit then run_audit ();
   (match insights_path with None -> () | Some path -> run_insights path);
-  let exp = if not micro_only then Some (run_experiments ()) else None in
+  (* micros run BEFORE the experiment suite: bechamel stabilizes the GC
+     before every sample, which scales with the live major heap — after a
+     full suite pass the stabilization eats the whole quota and leaves
+     two polluted samples per test *)
   let micro = if not exp_only then Some (run_micro ()) else None in
+  let exp = if not micro_only then Some (run_experiments ()) else None in
   match json_path with
   | None -> ()
   | Some path -> write_json path ~exp ~micro

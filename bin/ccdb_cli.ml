@@ -81,6 +81,20 @@ let audit_path_term =
   in
   Term.(const pick $ stream $ batch $ differential)
 
+(* [--shards N]: partition the simulator's sites across N shard heaps with
+   the deterministic cross-shard merge (DESIGN.md section 14); shared by
+   run/analyze/faults/recover. *)
+let shards_term =
+  let open Cmdliner in
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:
+             "Partition the simulator's sites into $(docv) shards \
+              (conservative lookahead windows, deterministic cross-shard \
+              merge).  Results are byte-identical for every value, which \
+              the $(b,@shard-smoke) lint gate enforces; the count is \
+              clamped to the site count.  See DESIGN.md section 14.")
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -169,8 +183,25 @@ let run_cmd =
          & info [ "thomas-write-rule" ]
              ~doc:"Enable the Thomas Write Rule in the pure T/O baseline.")
   in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Keep the streaming invariant audit online during the run \
+                and print its summary (exits 1 on an error finding).")
+  in
+  let no_store_check =
+    Arg.(value & flag
+         & info [ "no-store-check" ]
+             ~doc:
+               "Skip the post-hoc whole-history store checks (conflict \
+                serializability, replica consistency) — they re-scan every \
+                log pair, prohibitive at millions of transactions.  Combine \
+                with $(b,--audit) to keep the flat-cost streaming audit as \
+                the correctness gate (EXPERIMENTS.md E15).")
+  in
   let run mode lambda txns sites items repl size_min size_max qr seed mix
-      detection prevention twr =
+      detection prevention twr audit no_store_check shards =
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -181,11 +212,14 @@ let run_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; replication = repl; seed;
+        sites; items; replication = repl; seed; shards;
         net = Ccdb_sim.Net.default_config ~sites;
         detection; prevention; thomas_write_rule = twr }
     in
-    let r = Ccdb_harness.Driver.run ~setup ~n_txns:txns mode spec in
+    let r =
+      Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit
+        ~verify_store:(not no_store_check) mode spec
+    in
     let s = r.summary in
     Format.printf "mode:            %s@." (Ccdb_harness.Driver.mode_name mode);
     Format.printf "workload:        %a@." Ccdb_workload.Generator.pp_spec spec;
@@ -197,8 +231,25 @@ let run_cmd =
     Format.printf "deadlock aborts: %d@." s.deadlock_aborts;
     Format.printf "backoffs/txn:    %.3f@." s.backoffs_per_txn;
     Format.printf "messages/txn:    %.1f@." s.messages_per_txn;
-    Format.printf "serializable:    %b@." s.serializable;
-    Format.printf "replicas ok:     %b@." s.replica_consistent;
+    (if no_store_check then
+       Format.printf "store checks:    skipped (--no-store-check)@."
+     else begin
+       Format.printf "serializable:    %b@." s.serializable;
+       Format.printf "replicas ok:     %b@." s.replica_consistent
+     end);
+    (if r.sync.shards > 1 then
+       Format.printf
+         "shards:          %d (%d barriers, %d cross-shard messages, fired \
+          %s)@."
+         r.sync.shards r.sync.barriers r.sync.cross_shard
+         (String.concat "/"
+            (Array.to_list
+               (Array.map string_of_int r.sync.fired_by_shard))));
+    (match r.audit with
+     | None -> ()
+     | Some report ->
+       Format.printf "audit:           %s@."
+         (Ccdb_analysis.Report.summary report));
     (match r.decisions with
      | [] -> ()
      | decisions ->
@@ -208,12 +259,18 @@ let run_cmd =
             (fun ppf (p, n) ->
               Format.fprintf ppf "%a=%d" Ccdb_model.Protocol.pp p n))
          decisions);
-    if not s.serializable then exit 1
+    let audit_failed =
+      match r.audit with
+      | Some report -> Ccdb_analysis.Report.errors report <> []
+      | None -> false
+    in
+    if (not s.serializable) || audit_failed then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
     Term.(
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ size_min
-      $ size_max $ qr $ seed $ mix $ detection $ prevention $ twr)
+      $ size_max $ qr $ seed $ mix $ detection $ prevention $ twr $ audit
+      $ no_store_check $ shards_term)
 
 (* -------------------------------------------------------------- analyze *)
 
@@ -246,7 +303,8 @@ let analyze_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Print only the summary line, not findings.")
   in
-  let run mode lambda txns sites items repl qr seed mix quiet audit_path =
+  let run mode lambda txns sites items repl qr seed mix quiet audit_path
+      shards =
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -255,7 +313,7 @@ let analyze_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; replication = repl; seed;
+        sites; items; replication = repl; seed; shards;
         net = Ccdb_sim.Net.default_config ~sites }
     in
     let r =
@@ -282,7 +340,7 @@ let analyze_cmd =
           finding.")
     Term.(
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ qr $ seed
-      $ mix $ quiet $ audit_path_term)
+      $ mix $ quiet $ audit_path_term $ shards_term)
 
 (* ---------------------------------------------------------- experiments *)
 
@@ -309,33 +367,37 @@ let experiments_cmd =
                 byte-identical for every job count; 1 takes the plain \
                 serial path.")
   in
-  let run quick only csv_dir jobs =
+  let run quick only csv_dir jobs shards =
     let wanted o =
       only = [] || List.exists (fun id -> String.uppercase_ascii id = o.Ccdb_harness.Experiments.id) only
     in
-    List.iter
-      (fun o ->
-        if wanted o then begin
-          print_endline (Ccdb_harness.Experiments.render o);
-          print_newline ();
-          match csv_dir with
-          | None -> ()
-          | Some dir ->
-            let path =
-              Filename.concat dir
-                (String.lowercase_ascii o.Ccdb_harness.Experiments.id ^ ".csv")
-            in
-            let oc = open_out path in
-            output_string oc (Ccdb_util.Table.to_csv o.Ccdb_harness.Experiments.table);
-            close_out oc;
-            Printf.printf "(wrote %s)\n\n" path
-        end)
-      (Ccdb_harness.Parallel.experiments ~quick ~jobs ())
+    if shards > 1 then Ccdb_harness.Driver.set_default_shards shards;
+    Fun.protect
+      ~finally:(fun () -> Ccdb_harness.Driver.set_default_shards 0)
+      (fun () ->
+        List.iter
+          (fun o ->
+            if wanted o then begin
+              print_endline (Ccdb_harness.Experiments.render o);
+              print_newline ();
+              match csv_dir with
+              | None -> ()
+              | Some dir ->
+                let path =
+                  Filename.concat dir
+                    (String.lowercase_ascii o.Ccdb_harness.Experiments.id ^ ".csv")
+                in
+                let oc = open_out path in
+                output_string oc (Ccdb_util.Table.to_csv o.Ccdb_harness.Experiments.table);
+                close_out oc;
+                Printf.printf "(wrote %s)\n\n" path
+            end)
+          (Ccdb_harness.Parallel.experiments ~quick ~jobs ()))
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E14, X1-X7).")
-    Term.(const run $ quick $ only $ csv_dir $ jobs)
+       ~doc:"Regenerate the paper-reproduction tables (E1-E15, X1-X7).")
+    Term.(const run $ quick $ only $ csv_dir $ jobs $ shards_term)
 
 (* --------------------------------------------------------------- faults *)
 
@@ -391,7 +453,7 @@ let faults_cmd =
              ~doc:"Skip the static invariant audit of the traced run.")
   in
   let run plan mode lambda txns sites items seed mix rto max_retries no_audit
-      audit_path =
+      audit_path shards =
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -399,7 +461,7 @@ let faults_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; seed; net = Ccdb_sim.Net.default_config ~sites }
+        sites; items; seed; shards; net = Ccdb_sim.Net.default_config ~sites }
     in
     let retry = { Ccdb_sim.Net.default_retry with rto; max_retries } in
     let r =
@@ -455,7 +517,7 @@ let faults_cmd =
           audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ rto $ max_retries $ no_audit $ audit_path_term)
+      $ rto $ max_retries $ no_audit $ audit_path_term $ shards_term)
 
 (* -------------------------------------------------------------- recover *)
 
@@ -507,7 +569,8 @@ let recover_cmd =
          & info [ "no-audit" ]
              ~doc:"Skip the static invariant audit of the traced run.")
   in
-  let run plan mode lambda txns sites items seed mix no_audit audit_path =
+  let run plan mode lambda txns sites items seed mix no_audit audit_path
+      shards =
     let plan =
       (* fail-stop is the point of this command *)
       Ccdb_sim.Fault_plan.make ~seed:(Ccdb_sim.Fault_plan.seed plan)
@@ -522,7 +585,7 @@ let recover_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; seed; net = Ccdb_sim.Net.default_config ~sites }
+        sites; items; seed; shards; net = Ccdb_sim.Net.default_config ~sites }
     in
     let r =
       Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
@@ -581,7 +644,7 @@ let recover_cmd =
           to commit or the audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ no_audit $ audit_path_term)
+      $ no_audit $ audit_path_term $ shards_term)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -8,6 +8,7 @@ type setup = {
   replication : int;
   net : Ccdb_sim.Net.config;
   seed : int;
+  shards : int;
   restart_delay : float;
   restart_cap : float;
   detection : Ccdb_protocols.Deadlock.detection;
@@ -19,12 +20,29 @@ type setup = {
 
 let default_setup =
   { sites = 4; items = 32; replication = 2;
-    net = Ccdb_sim.Net.default_config ~sites:4; seed = 42;
+    net = Ccdb_sim.Net.default_config ~sites:4; seed = 42; shards = 0;
     restart_delay = 50.; restart_cap = 800.;
     detection = Ccdb_protocols.Deadlock.default_detection;
     thomas_write_rule = false;
     prevention = Ccdb_protocols.Two_pl_system.No_prevention;
     adaptive = Cumulative; reselect = false }
+
+(* Suite-wide shard override ([0] = none): lets the bench harness and the
+   CLI re-run a whole experiment suite sharded without threading a setup
+   change through every call site.  Atomic because worker domains of the
+   parallel harness read it. *)
+let default_shards = Atomic.make 0
+
+let set_default_shards n =
+  if n < 0 then invalid_arg "Driver.set_default_shards: negative";
+  Atomic.set default_shards n
+
+(* The override is a default, not a force: [setup.shards = 0] means
+   "inherit the suite default", any explicit count >= 1 (E15's scaling
+   rows, the CLI's --shards) is pinned. *)
+let effective_shards (setup : setup) =
+  if setup.shards >= 1 then setup.shards
+  else max 1 (Atomic.get default_shards)
 
 type mode =
   | Pure of Ccdb_model.Protocol.t
@@ -51,6 +69,7 @@ type result = {
   runtime : Rt.t;
   decisions : (Ccdb_model.Protocol.t * int) list;
   audit : Ccdb_analysis.Report.t option;
+  sync : Ccdb_sim.Engine.sync_stats;
 }
 
 (* A uniform submit interface over the five system shapes. *)
@@ -195,15 +214,15 @@ let build_system ~(setup : setup) ~(spec : Ccdb_workload.Generator.spec) mode
 (* shared run body: [arrivals_of] turns the workload RNG into the arrival
    list; [spec] is the (first-phase) spec, needed for [Configured]. *)
 let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
-    ?replay_cost mode ~spec ~arrivals_of () =
+    ?replay_cost ?(verify_store = true) mode ~spec ~arrivals_of () =
   let net = { setup.net with Ccdb_sim.Net.sites = setup.sites } in
   let catalog =
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
       ~replication:setup.replication
   in
   let rt =
-    Rt.create ~seed:setup.seed ?faults ?retry ?replay_cost
-      ~restart_cap:setup.restart_cap ~net_config:net ~catalog ()
+    Rt.create ~seed:setup.seed ~shards:(effective_shards setup) ?faults ?retry
+      ?replay_cost ~restart_cap:setup.restart_cap ~net_config:net ~catalog ()
   in
   (match observer with Some f -> f rt | None -> ());
   (* MVTO keeps the physical store as a per-copy newest-version cache, not
@@ -227,12 +246,17 @@ let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
   let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
   let arrivals = arrivals_of wl_rng in
   List.iter
-    (fun (at, txn) ->
+    (fun (at, (txn : Ccdb_model.Txn.t)) ->
+      (* Arrivals land on the home site's shard, so a transaction's local
+         follow-up events (compute, restarts) stay shard-local. *)
       ignore
-        (Ccdb_sim.Engine.schedule (Rt.engine rt) ~after:at (fun () ->
-             system.submit txn)))
+        (Ccdb_sim.Engine.schedule ~site:txn.site (Rt.engine rt) ~after:at
+           (fun () -> system.submit txn)))
     arrivals;
-  Rt.quiesce ~max_events:50_000_000 rt;
+  (* The budget is an anti-livelock backstop, not a limit: scale it with the
+     workload so million-transaction runs (E15) fit. *)
+  let budget = max 50_000_000 (400 * List.length arrivals) in
+  Rt.quiesce ~max_events:budget rt;
   let store = if theorem2 then Some (Rt.store rt) else None in
   let batch_report =
     Option.map
@@ -262,13 +286,15 @@ let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
                    Ccdb_analysis.Finding.make ~check:"audit.divergence" msg)
                  divergences))
   in
-  { summary = Metrics.summarize rt; runtime = rt;
-    decisions = system.decisions (); audit }
+  { summary = Metrics.summarize ~verify:verify_store rt; runtime = rt;
+    decisions = system.decisions (); audit;
+    sync = Ccdb_sim.Engine.sync_stats (Rt.engine rt) }
 
 let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
-    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode spec =
-  execute ~setup ?observer ~audit ~audit_path ?faults ?retry ?replay_cost mode
-    ~spec
+    ?(audit_path = Streaming) ?faults ?retry ?replay_cost ?verify_store mode
+    spec =
+  execute ~setup ?observer ~audit ~audit_path ?faults ?retry ?replay_cost
+    ?verify_store mode ~spec
     ~arrivals_of:(fun rng ->
       let generator =
         Ccdb_workload.Generator.create spec ~sites:setup.sites
@@ -278,12 +304,13 @@ let run ?(setup = default_setup) ?(n_txns = 200) ?observer ?(audit = false)
     ()
 
 let run_phases ?(setup = default_setup) ?observer ?(audit = false)
-    ?(audit_path = Streaming) ?faults ?retry ?replay_cost mode phases =
+    ?(audit_path = Streaming) ?faults ?retry ?replay_cost ?verify_store mode
+    phases =
   match phases with
   | [] -> invalid_arg "Driver.run_phases: no phases"
   | (first_spec, _) :: _ ->
     execute ~setup ?observer ~audit ~audit_path ?faults ?retry ?replay_cost
-      mode ~spec:first_spec
+      ?verify_store mode ~spec:first_spec
       ~arrivals_of:(fun rng ->
         Ccdb_workload.Generator.phased phases ~sites:setup.sites
           ~items:setup.items rng)

@@ -67,6 +67,14 @@ val e14_phase_change : ?quick:bool -> unit -> outcome
     with the mid-run protocol switch read off the insights windows
     (DESIGN.md section 13, OBSERVABILITY.md). *)
 
+val e15_shard_scaling : ?quick:bool -> unit -> outcome
+(** Sharded simulator: the same audited workload at 1, 2 and 4 shards with
+    metrics, audit findings and event counts compared row by row — the
+    byte-identity claim of the conservative-window deterministic merge
+    (DESIGN.md section 14).  Deterministic counters only; per-shard suite
+    wall-clocks live in BENCH.json and the million-commit demonstration in
+    EXPERIMENTS.md E15. *)
+
 (** {2 Extension experiments}
 
     X-experiments go beyond the paper's explicit claims but stay inside its

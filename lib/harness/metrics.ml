@@ -54,7 +54,7 @@ let per_protocol_system_time rt =
   Hashtbl.fold (fun p s acc -> (p, s) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> Ccdb_model.Protocol.compare a b)
 
-let summarize rt =
+let summarize ?(verify = true) rt =
   let counters = Rt.counters rt in
   let completions = Rt.completions rt in
   let committed = counters.committed in
@@ -65,7 +65,6 @@ let summarize rt =
       0. completions
   in
   let per_txn n = if committed = 0 then Float.nan else float_of_int n /. float_of_int committed in
-  let logs = Ccdb_storage.Store.logs (Rt.store rt) in
   { committed;
     duration;
     mean_system_time =
@@ -81,8 +80,14 @@ let summarize rt =
     backoffs_per_txn = per_txn counters.backoffs;
     messages_per_txn = per_txn (Ccdb_sim.Net.messages_sent (Rt.net rt));
     messages_by_kind = Ccdb_sim.Net.messages_by_kind (Rt.net rt);
-    serializable = Ccdb_serial.Check.conflict_serializable logs;
-    replica_consistent = Ccdb_serial.Check.replica_consistent (Rt.store rt);
+    serializable =
+      (if verify then
+         Ccdb_serial.Check.conflict_serializable
+           (Ccdb_storage.Store.logs (Rt.store rt))
+       else true);
+    replica_consistent =
+      (if verify then Ccdb_serial.Check.replica_consistent (Rt.store rt)
+       else true);
     site_aborts = counters.site_aborts;
     transport = Ccdb_sim.Net.fault_stats (Rt.net rt);
     recovery =

@@ -34,10 +34,14 @@ type summary = {
           plan says [wipe=true]) *)
 }
 
-val summarize : Ccdb_protocols.Runtime.t -> summary
+val summarize : ?verify:bool -> Ccdb_protocols.Runtime.t -> summary
 (** Computes everything from the runtime's completions, counters, network
     counters and store logs.  A runtime with no commits reports NaN for the
-    time-based metrics. *)
+    time-based metrics.  [~verify:false] (default [true]) skips the
+    post-hoc store checks — [serializable] and [replica_consistent] are
+    then vacuously [true]; the whole-history conflict check is quadratic-ish
+    in run length, so million-transaction runs rely on the streaming audit
+    instead (EXPERIMENTS.md E15). *)
 
 val system_time_stats : Ccdb_protocols.Runtime.t -> Ccdb_util.Stats.t
 (** Per-transaction system times (executed - submitted), for custom

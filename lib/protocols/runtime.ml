@@ -347,7 +347,7 @@ let restart_backoff t ~base ~attempt =
       let capped = Float.min t.restart_cap doubled in
       capped *. Ccdb_util.Rng.uniform_in rng ~lo:0.5 ~hi:1.0
 
-let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.)
+let create ?(seed = 42) ?(shards = 1) ?faults ?retry ?(stall_timeout = 1500.)
     ?(restart_cap = 800.) ?replay_cost ~net_config ~catalog () =
   if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
     invalid_arg "Runtime.create: catalog/network site count mismatch";
@@ -355,8 +355,19 @@ let create ?(seed = 42) ?faults ?retry ?(stall_timeout = 1500.)
     invalid_arg "Runtime.create: stall_timeout must be positive";
   if restart_cap <= 0. then
     invalid_arg "Runtime.create: restart_cap must be positive";
+  if shards < 1 then invalid_arg "Runtime.create: shards must be >= 1";
+  (* Never more shards than sites; the engine's lookahead is the minimum
+     cross-site latency (every cross-site send pays at least [base_delay]). *)
+  let shards = min shards net_config.Ccdb_sim.Net.sites in
+  if shards > 1 && not (net_config.Ccdb_sim.Net.base_delay > 0.) then
+    invalid_arg
+      "Runtime.create: a sharded simulation needs a positive base network \
+       delay (the conservative lookahead)";
   let rng = Ccdb_util.Rng.create ~seed in
-  let engine = Ccdb_sim.Engine.create () in
+  let engine =
+    Ccdb_sim.Engine.create ~shards
+      ~lookahead:net_config.Ccdb_sim.Net.base_delay ()
+  in
   let net_rng = Ccdb_util.Rng.split rng in
   let net = Ccdb_sim.Net.create engine net_rng net_config in
   let t =

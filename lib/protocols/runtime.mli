@@ -195,6 +195,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?shards:int ->
   ?faults:Ccdb_sim.Fault_plan.t ->
   ?retry:Ccdb_sim.Net.retry ->
   ?stall_timeout:float ->
@@ -204,7 +205,12 @@ val create :
   catalog:Ccdb_storage.Catalog.t ->
   unit ->
   t
-(** Builds engine + network + store.  [seed] defaults to 42.  When [faults]
+(** Builds engine + network + store.  [seed] defaults to 42.  [shards]
+    (default 1, clamped to the site count) partitions the discrete-event
+    engine into that many site shards with conservative lookahead
+    [net_config.base_delay] — results are byte-identical for any shard
+    count ({!Ccdb_sim.Engine}, DESIGN.md §14); requires a positive
+    [base_delay] when [shards > 1].  When [faults]
     is given it is installed on the network ({!Ccdb_sim.Net.install_faults},
     with [retry] if supplied), {!event.Site_crashed} / {!event.Site_recovered}
     events are emitted at each crash boundary, and the stall watchdog is

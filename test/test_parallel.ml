@@ -76,7 +76,7 @@ let test_experiments_jobs_identical () =
 
 let test_staged_counts () =
   let staged = Ccdb_harness.Experiments.staged ~quick:true () in
-  check Alcotest.int "21 experiments" 21 (List.length staged);
+  check Alcotest.int "22 experiments" 22 (List.length staged);
   List.iter
     (fun s ->
       check Alcotest.bool "every experiment has points" true
@@ -558,7 +558,7 @@ let test_bench_json_shape () =
   | Error e -> Alcotest.failf "BENCH.json does not parse: %s" e
   | Ok doc ->
     let str key = Option.bind (Json.member key doc) Json.to_str in
-    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/3")
+    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/4")
       (str "schema");
     let cores = Option.bind (Json.member "cores" doc) Json.to_float in
     check Alcotest.bool "cores >= 1" true
@@ -572,10 +572,19 @@ let test_bench_json_shape () =
            let name = Option.bind (Json.member "name" row) Json.to_str in
            let ns = Option.bind (Json.member "ns_per_op" row) Json.to_float in
            let r2 = Option.bind (Json.member "r_square" row) Json.to_float in
-           match name, ns, r2 with
-           | Some _, Some ns, Some r2 ->
+           let low =
+             Option.bind (Json.member "low_confidence" row) (function
+               | Json.Bool b -> Some b
+               | _ -> None)
+           in
+           match name, ns, r2, low with
+           | Some _, Some ns, Some r2, Some low ->
              check Alcotest.bool "ns/op positive" true (ns > 0.);
-             check Alcotest.bool "r^2 in [0,1]" true (r2 >= 0. && r2 <= 1.)
+             check Alcotest.bool "r^2 in [0,1]" true (r2 >= 0. && r2 <= 1.);
+             (* the ccdb-bench/4 confidence gate: rows under the 0.9 line
+                must carry the flag, rows above must not *)
+             check Alcotest.bool "low_confidence consistent with r^2" true
+               (low = (r2 < 0.9))
            | _ -> Alcotest.fail "micro row incomplete")
          rows;
        let has name =
@@ -595,7 +604,9 @@ let test_bench_json_shape () =
        check Alcotest.bool "conflict_graph.check-incremental present" true
          (has "conflict_graph.check-incremental");
        check Alcotest.bool "analysis.stream-feed present" true
-         (has "analysis.stream-feed"));
+         (has "analysis.stream-feed");
+       check Alcotest.bool "engine.sharded-sim present" true
+         (has "engine.sharded-sim"));
     (match Json.member "experiments" doc with
      | None -> Alcotest.fail "experiments missing"
      | Some exp ->
@@ -612,7 +623,33 @@ let test_bench_json_shape () =
          (Some true)
          (Option.bind (Json.member "identical_tables" exp) (function
            | Json.Bool b -> Some b
-           | _ -> None)))
+           | _ -> None));
+       (* the ccdb-bench/4 sharded sweep: wall-clocks for 1/2/4 shards,
+          every pass byte-identical to the serial tables *)
+       match Option.bind (Json.member "sharded" exp) Json.to_list with
+       | None -> Alcotest.fail "sharded sweep missing"
+       | Some passes ->
+         let shard_counts =
+           List.filter_map
+             (fun p -> Option.bind (Json.member "shards" p) Json.to_float)
+             passes
+         in
+         check (Alcotest.list (Alcotest.float 0.)) "sharded at 1/2/4"
+           [ 1.; 2.; 4. ] shard_counts;
+         List.iter
+           (fun p ->
+             check Alcotest.bool "sharded wall clock recorded" true
+               (match
+                  Option.bind (Json.member "wall_clock_s" p) Json.to_float
+                with
+                | Some s -> s > 0.
+                | None -> false);
+             check (Alcotest.option Alcotest.bool)
+               "sharded tables identical" (Some true)
+               (Option.bind (Json.member "identical_tables" p) (function
+                 | Json.Bool b -> Some b
+                 | _ -> None)))
+           passes)
 
 let suites =
   [ ( "pool",

@@ -1,0 +1,282 @@
+(* Sharded-simulator determinism: the engine's conservative-window merge
+   must reproduce single-heap execution byte-for-byte at any shard count.
+   Pinned here at three levels: a 1000-case random-script engine fuzzer,
+   full driver runs (all eleven modes, plus faulted and fail-stop durable
+   ones) compared across --shards 1/2/4, and the synchronization-counter
+   invariants. *)
+
+module Engine = Ccdb_sim.Engine
+module Rng = Ccdb_util.Rng
+module D = Ccdb_harness.Driver
+module G = Ccdb_workload.Generator
+module FP = Ccdb_sim.Fault_plan
+
+let check = Alcotest.check
+
+let plan_of_string s =
+  match FP.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+(* --- engine fuzzer ------------------------------------------------------ *)
+
+(* One random script: seed events that recursively schedule children of
+   every flavour the engine distinguishes — untagged (shard-inherited),
+   tagged with >= lookahead of delay (true cross-shard channel traffic),
+   tagged undercutting the lookahead (the local-fallback seam), absolute
+   [schedule_at], and events cancelled before firing.  The firing log
+   (time, id) must be identical for every shard count. *)
+let run_script ~seed ~shards =
+  let sites = 6 in
+  let lookahead = 10. in
+  let eng =
+    if shards = 1 then Engine.create ()
+    else Engine.create ~shards ~lookahead ()
+  in
+  let rng = Rng.create ~seed in
+  let log = ref [] in
+  let next_id = ref 0 in
+  let budget = ref 120 in
+  let rec node id () =
+    log := (Engine.now eng, id) :: !log;
+    if !budget > 0 then begin
+      let children = Rng.int rng 3 in
+      for _ = 1 to children do
+        if !budget > 0 then begin
+          decr budget;
+          let id' = !next_id in
+          incr next_id;
+          match Rng.int rng 5 with
+          | 0 ->
+            (* untagged: inherits the executing shard *)
+            ignore (Engine.schedule eng ~after:(Rng.float rng 30.) (node id'))
+          | 1 ->
+            (* tagged, past the lookahead: channelled when cross-shard *)
+            let site = Rng.int rng sites in
+            ignore
+              (Engine.schedule ~site eng
+                 ~after:(lookahead +. Rng.float rng 30.)
+                 (node id'))
+          | 2 ->
+            (* tagged, undercutting the lookahead: the fallback seam *)
+            let site = Rng.int rng sites in
+            ignore
+              (Engine.schedule ~site eng ~after:(Rng.float rng 5.) (node id'))
+          | 3 ->
+            let site = Rng.int rng sites in
+            ignore
+              (Engine.schedule_at ~site eng
+                 ~at:(Engine.now eng +. lookahead +. Rng.float rng 20.)
+                 (node id'))
+          | _ ->
+            (* scheduled then cancelled: must never fire anywhere *)
+            let site = Rng.int rng sites in
+            let h =
+              Engine.schedule ~site eng
+                ~after:(lookahead +. Rng.float rng 20.)
+                (fun () -> Alcotest.fail "cancelled event fired")
+            in
+            check Alcotest.bool "cancel accepted" true (Engine.cancel eng h);
+            (* replace it so the log shapes still differ per branch *)
+            ignore (Engine.schedule eng ~after:(Rng.float rng 10.) (node id'))
+        end
+      done
+    end
+  in
+  for _ = 1 to 4 do
+    let id = !next_id in
+    incr next_id;
+    let site = Rng.int rng sites in
+    ignore (Engine.schedule_at ~site eng ~at:(Rng.float rng 50.) (node id))
+  done;
+  (* every third case splits the run at a horizon to cross window state
+     over a [run] boundary *)
+  if seed mod 3 = 0 then Engine.run ~until:40. eng;
+  Engine.run eng;
+  check Alcotest.int "drained" 0 (Engine.pending eng);
+  (List.rev !log, Engine.processed eng, Engine.now eng)
+
+let test_fuzz_sharded_equivalence () =
+  for seed = 1 to 1000 do
+    let reference = run_script ~seed ~shards:1 in
+    List.iter
+      (fun shards ->
+        let got = run_script ~seed ~shards in
+        if got <> reference then
+          Alcotest.failf "script %d diverged at %d shards" seed shards)
+      [ 2; 3; 4 ]
+  done
+
+(* --- engine argument validation ---------------------------------------- *)
+
+let test_engine_validation () =
+  (match Engine.create ~shards:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards=0 accepted");
+  (match Engine.create ~shards:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sharded engine without lookahead accepted");
+  (match Engine.create ~shards:2 ~lookahead:(-1.) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative lookahead accepted");
+  let eng = Engine.create ~shards:3 ~lookahead:5. () in
+  check Alcotest.int "shards" 3 (Engine.shards eng);
+  (* shard_of results are reduced modulo the shard count *)
+  let eng2 =
+    Engine.create ~shards:2 ~lookahead:5. ~shard_of:(fun s -> s * 7) ()
+  in
+  ignore (Engine.schedule_at ~site:5 eng2 ~at:1. (fun () -> ()));
+  Engine.run eng2;
+  check Alcotest.int "modular shard_of fired" 1 (Engine.processed eng2)
+
+let test_runtime_validation () =
+  let catalog =
+    Ccdb_storage.Catalog.create ~items:8 ~sites:4 ~replication:1
+  in
+  let net = { (Ccdb_sim.Net.default_config ~sites:4) with base_delay = 0. } in
+  (match
+     Ccdb_protocols.Runtime.create ~shards:2 ~net_config:net ~catalog ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sharded runtime with zero base_delay accepted");
+  (* shard counts beyond the site count are clamped, not rejected *)
+  let rt =
+    Ccdb_protocols.Runtime.create ~shards:64
+      ~net_config:(Ccdb_sim.Net.default_config ~sites:4) ~catalog ()
+  in
+  check Alcotest.int "clamped to sites" 4
+    (Engine.shards (Ccdb_protocols.Runtime.engine rt))
+
+(* --- driver byte-identity across shard counts --------------------------- *)
+
+let spec =
+  { G.default with
+    arrival_rate = 0.08;
+    size_min = 1;
+    size_max = 3;
+    protocol_mix =
+      [ (Ccdb_model.Protocol.Two_pl, 1.);
+        (Ccdb_model.Protocol.T_o, 1.);
+        (Ccdb_model.Protocol.Pa, 1.) ] }
+
+let all_modes =
+  [ D.Pure Ccdb_model.Protocol.Two_pl;
+    D.Pure Ccdb_model.Protocol.T_o;
+    D.Pure Ccdb_model.Protocol.Pa;
+    D.Unified;
+    D.Unified_forced Ccdb_model.Protocol.Two_pl;
+    D.Unified_forced Ccdb_model.Protocol.T_o;
+    D.Unified_forced Ccdb_model.Protocol.Pa;
+    D.Unified_full_lock;
+    D.Dynamic;
+    D.Mvto;
+    D.Conservative ]
+
+(* Everything observable about a run, rendered to comparable values: the
+   full metrics summary, protocol decisions, the complete event trace, and
+   the audit report. *)
+let observe ?faults ?n_txns ~shards mode =
+  let setup = { D.default_setup with shards } in
+  let trace = ref None in
+  let r =
+    D.run ~setup ?n_txns ?faults ~audit:true ~audit_path:D.Differential
+      ~observer:(fun rt -> trace := Some (Ccdb_harness.Trace.attach rt))
+      mode spec
+  in
+  let audit = Format.asprintf "%a" Ccdb_analysis.Report.pp (Option.get r.audit) in
+  ( r.summary,
+    r.decisions,
+    Ccdb_harness.Trace.render (Option.get !trace),
+    audit )
+
+let assert_identical ?faults ?n_txns mode =
+  let name = D.mode_name mode in
+  let s1, d1, t1, a1 = observe ?faults ?n_txns ~shards:1 mode in
+  List.iter
+    (fun shards ->
+      let s, d, t, a = observe ?faults ?n_txns ~shards mode in
+      check Alcotest.bool
+        (Printf.sprintf "%s summary identical at %d shards" name shards)
+        true (s = s1);
+      check Alcotest.bool
+        (Printf.sprintf "%s decisions identical at %d shards" name shards)
+        true (d = d1);
+      check Alcotest.string
+        (Printf.sprintf "%s trace identical at %d shards" name shards)
+        t1 t;
+      check Alcotest.string
+        (Printf.sprintf "%s audit identical at %d shards" name shards)
+        a1 a)
+    [ 2; 4 ]
+
+let test_all_modes_identical () =
+  List.iter (fun mode -> assert_identical ~n_txns:40 mode) all_modes
+
+let acceptance_plan =
+  plan_of_string "drop=0.1,crash=1@400+300,crash=2@1200+300,seed=11"
+
+let durable_plan =
+  plan_of_string "drop=0.1,crash=1@400+300,crash=2@1200+300,wipe=true,seed=11"
+
+let test_all_modes_identical_faulted () =
+  List.iter
+    (fun mode -> assert_identical ~faults:acceptance_plan ~n_txns:60 mode)
+    all_modes
+
+let test_fail_stop_durable_identical () =
+  (* fail-stop (wipe=true) exercises WAL forcing, volatile wipes and replay
+     on the crashing site's shard *)
+  List.iter
+    (fun mode -> assert_identical ~faults:durable_plan ~n_txns:60 mode)
+    [ D.Pure Ccdb_model.Protocol.Two_pl; D.Unified; D.Dynamic ]
+
+(* --- synchronization counters ------------------------------------------- *)
+
+let test_sync_stats () =
+  let r1 = D.run ~n_txns:60 D.Unified spec in
+  check Alcotest.int "1 shard" 1 r1.sync.shards;
+  check Alcotest.int "no barriers unsharded" 0 r1.sync.barriers;
+  check Alcotest.int "no channel traffic unsharded" 0 r1.sync.cross_shard;
+  let setup = { D.default_setup with shards = 2 } in
+  let r2 = D.run ~setup ~n_txns:60 D.Unified spec in
+  check Alcotest.int "2 shards" 2 r2.sync.shards;
+  check Alcotest.bool "windows opened" true (r2.sync.barriers > 0);
+  check Alcotest.bool "cross-shard messages channelled" true
+    (r2.sync.cross_shard > 0);
+  check Alcotest.int "every event fired on some shard"
+    (Array.fold_left ( + ) 0 r2.sync.fired_by_shard)
+    (Ccdb_sim.Engine.processed (Ccdb_protocols.Runtime.engine r2.runtime));
+  check Alcotest.bool "both shards fired events" true
+    (Array.for_all (fun n -> n > 0) r2.sync.fired_by_shard);
+  (* identical protocol-level results regardless *)
+  check Alcotest.bool "summaries equal" true (r1.summary = r2.summary)
+
+let test_default_shards_override () =
+  let r1 = D.run ~n_txns:40 D.Unified spec in
+  D.set_default_shards 4;
+  let r4 =
+    Fun.protect
+      ~finally:(fun () -> D.set_default_shards 0)
+      (fun () -> D.run ~n_txns:40 D.Unified spec)
+  in
+  check Alcotest.int "override applied" 4 r4.sync.shards;
+  check Alcotest.bool "summary unchanged" true (r1.summary = r4.summary)
+
+let suites =
+  [ ( "shard.engine",
+      [ Alcotest.test_case "1000-script fuzz: shards 2/3/4 == single heap"
+          `Slow test_fuzz_sharded_equivalence;
+        Alcotest.test_case "argument validation" `Quick test_engine_validation;
+        Alcotest.test_case "runtime validation" `Quick test_runtime_validation
+      ] );
+    ( "shard.byte-identity",
+      [ Alcotest.test_case "all 11 modes, fault-free" `Slow
+          test_all_modes_identical;
+        Alcotest.test_case "all 11 modes, faulted" `Slow
+          test_all_modes_identical_faulted;
+        Alcotest.test_case "fail-stop durable" `Slow
+          test_fail_stop_durable_identical ] );
+    ( "shard.sync",
+      [ Alcotest.test_case "counters" `Quick test_sync_stats;
+        Alcotest.test_case "suite-wide override" `Quick
+          test_default_shards_override ] ) ]
