@@ -1,5 +1,5 @@
 (* The benchmark binary: regenerates every reproduced experiment table
-   (E1-E15 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
+   (E1-E16 and X1-X7, see DESIGN.md section 5 and EXPERIMENTS.md) and then
    runs bechamel micro-benchmarks of the core data structures.
 
    Run with: dune exec bench/main.exe
@@ -474,6 +474,43 @@ let bench_sharded_sim =
             (Ccdb_harness.Driver.run ~setup ~n_txns:40
                Ccdb_harness.Driver.Unified spec)))
 
+(* Atomic-commitment round cost: a durable (wipe=true, otherwise
+   fault-free) run of 16 multi-operation transactions through the unified
+   system, so every commit drives a full round of the selected engine —
+   presumed-abort 2PC vs Paxos Commit over three acceptors (f = 1).  Both
+   rows share the workload and the durable-run fixed costs (WAL forces,
+   vote collection), so their difference is the consensus premium
+   DESIGN.md section 15 quantifies: one extra phase-2a/2b exchange per
+   participant vote on the ballot-0 fast path. *)
+let bench_commit_round name commit =
+  let spec =
+    { Ccdb_workload.Generator.default with
+      arrival_rate = 0.2;
+      size_min = 2;
+      size_max = 3;
+      protocol_mix =
+        [ (Ccdb_model.Protocol.Two_pl, 1.); (Ccdb_model.Protocol.T_o, 1.);
+          (Ccdb_model.Protocol.Pa, 1.) ] }
+  in
+  let setup =
+    { Ccdb_harness.Driver.default_setup with items = 12; sites = 3; commit }
+  in
+  let faults =
+    match Ccdb_sim.Fault_plan.of_string "wipe=true,seed=7" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Ccdb_harness.Driver.run ~setup ~n_txns:16 ~faults
+              Ccdb_harness.Driver.Unified spec)))
+
+let bench_2pc_round = bench_commit_round "commit.2pc-round" Ccdb_protocols.Runtime.Two_pc
+
+let bench_paxos_round =
+  bench_commit_round "commit.paxos-round" (Ccdb_protocols.Runtime.Paxos { f = 1 })
+
 (* A micro-benchmark result after the confidence pass below. *)
 type micro_row = {
   m_name : string;
@@ -563,7 +600,8 @@ let run_micro () =
       [ bench_precedence_compare; bench_semi_lock_cycle; bench_lock_table_cycle;
         bench_wal_append; bench_wal_replay; bench_stl_eval;
         bench_conflict_check; bench_incremental_edge; bench_stream_feed;
-        bench_heap; bench_end_to_end; bench_sharded_sim ]
+        bench_heap; bench_end_to_end; bench_sharded_sim; bench_2pc_round;
+        bench_paxos_round ]
   in
   let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
   (* discarded warmup pass: every staged closure runs until code, caches
@@ -664,7 +702,7 @@ let write_json path ~exp ~micro =
   in
   let doc =
     Obj
-      [ ("schema", Str "ccdb-bench/4");
+      [ ("schema", Str "ccdb-bench/5");
         ("quick", Bool quick);
         (* Parallel.cores: the parallelism actually available, so a
            speedup <= 1 here reads as "cores-limited", not "overhead" *)

@@ -95,6 +95,51 @@ let shards_term =
               the $(b,@shard-smoke) lint gate enforces; the count is \
               clamped to the site count.  See DESIGN.md section 14.")
 
+(* [--commit 2pc|paxos|paxos:F]: atomic-commitment engine for durable
+   runs; shared by run/analyze/faults/recover.  Inert without a fail-stop
+   fault plan (only durable runtimes build a commit engine). *)
+let commit_term =
+  let open Cmdliner in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "2pc" -> Ok Ccdb_protocols.Runtime.Two_pc
+    | "paxos" -> Ok (Ccdb_protocols.Runtime.Paxos { f = 1 })
+    | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "paxos" -> (
+        let k = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt k with
+        | Some f when f >= 0 -> Ok (Ccdb_protocols.Runtime.Paxos { f })
+        | _ -> Error (`Msg (Printf.sprintf "bad fault tolerance %S" k)))
+      | _ -> Error (`Msg "expected 2pc, paxos or paxos:F"))
+  in
+  let print ppf = function
+    | Ccdb_protocols.Runtime.Two_pc -> Format.pp_print_string ppf "2pc"
+    | Ccdb_protocols.Runtime.Paxos { f } -> Format.fprintf ppf "paxos:%d" f
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Ccdb_protocols.Runtime.Two_pc
+       & info [ "commit" ] ~docv:"PROTO"
+           ~doc:
+             "Atomic-commitment engine for durable (fail-stop) runs: \
+              $(b,2pc) (presumed-abort two-phase commit, the default), \
+              $(b,paxos) (Paxos Commit, one acceptor fault tolerated) or \
+              $(b,paxos:F) (Paxos Commit over 2F+1 acceptors at sites \
+              0..2F — requires at least 2F+1 sites).  See DESIGN.md \
+              section 15.")
+
+(* The acceptor set of [--commit paxos:F] lives at sites 0..2F, so the
+   site count bounds the tolerable F; report the mismatch as a usage
+   error rather than letting [Runtime.create] raise mid-run. *)
+let check_commit_sites ~sites commit =
+  match commit with
+  | Ccdb_protocols.Runtime.Paxos { f } when sites < (2 * f) + 1 ->
+    Printf.eprintf
+      "ccdb_cli: --commit paxos:%d needs at least %d sites (2F+1), got %d\n"
+      f ((2 * f) + 1) sites;
+    exit 124
+  | _ -> ()
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -201,7 +246,8 @@ let run_cmd =
                 the correctness gate (EXPERIMENTS.md E15).")
   in
   let run mode lambda txns sites items repl size_min size_max qr seed mix
-      detection prevention twr audit no_store_check shards =
+      detection prevention twr audit no_store_check shards commit =
+    check_commit_sites ~sites commit;
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -212,7 +258,7 @@ let run_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; replication = repl; seed; shards;
+        sites; items; replication = repl; seed; shards; commit;
         net = Ccdb_sim.Net.default_config ~sites;
         detection; prevention; thomas_write_rule = twr }
     in
@@ -270,7 +316,7 @@ let run_cmd =
     Term.(
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ size_min
       $ size_max $ qr $ seed $ mix $ detection $ prevention $ twr $ audit
-      $ no_store_check $ shards_term)
+      $ no_store_check $ shards_term $ commit_term)
 
 (* -------------------------------------------------------------- analyze *)
 
@@ -304,7 +350,8 @@ let analyze_cmd =
          & info [ "quiet" ] ~doc:"Print only the summary line, not findings.")
   in
   let run mode lambda txns sites items repl qr seed mix quiet audit_path
-      shards =
+      shards commit =
+    check_commit_sites ~sites commit;
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -313,7 +360,7 @@ let analyze_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; replication = repl; seed; shards;
+        sites; items; replication = repl; seed; shards; commit;
         net = Ccdb_sim.Net.default_config ~sites }
     in
     let r =
@@ -340,7 +387,7 @@ let analyze_cmd =
           finding.")
     Term.(
       const run $ mode $ lambda $ txns $ sites $ items $ repl $ qr $ seed
-      $ mix $ quiet $ audit_path_term $ shards_term)
+      $ mix $ quiet $ audit_path_term $ shards_term $ commit_term)
 
 (* ---------------------------------------------------------- experiments *)
 
@@ -396,7 +443,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper-reproduction tables (E1-E15, X1-X7).")
+       ~doc:"Regenerate the paper-reproduction tables (E1-E16, X1-X7).")
     Term.(const run $ quick $ only $ csv_dir $ jobs $ shards_term)
 
 (* --------------------------------------------------------------- faults *)
@@ -418,7 +465,8 @@ let faults_cmd =
              ~doc:
                "Fault plan, e.g. \
                 $(b,drop=0.1,crash=1@400+300,crash=2@1200+300,seed=11).  \
-                Grammar: drop=F dup=F delay=PxM crash=S@T+D \
+                Grammar: drop=F dup=F delay=PxM crash=WHO@T+D where WHO is \
+                a site number, $(b,coordinator) or $(b,acceptor:K), \
                 link=SRC>DST/... seed=N (see DESIGN.md section 9).")
   in
   let mode =
@@ -453,7 +501,8 @@ let faults_cmd =
              ~doc:"Skip the static invariant audit of the traced run.")
   in
   let run plan mode lambda txns sites items seed mix rto max_retries no_audit
-      audit_path shards =
+      audit_path shards commit =
+    check_commit_sites ~sites commit;
     let spec =
       { Ccdb_workload.Generator.default with
         arrival_rate = lambda;
@@ -461,7 +510,8 @@ let faults_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; seed; shards; net = Ccdb_sim.Net.default_config ~sites }
+        sites; items; seed; shards; commit;
+        net = Ccdb_sim.Net.default_config ~sites }
     in
     let retry = { Ccdb_sim.Net.default_retry with rto; max_retries } in
     let r =
@@ -517,7 +567,8 @@ let faults_cmd =
           audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ rto $ max_retries $ no_audit $ audit_path_term $ shards_term)
+      $ rto $ max_retries $ no_audit $ audit_path_term $ shards_term
+      $ commit_term)
 
 (* -------------------------------------------------------------- recover *)
 
@@ -570,13 +621,15 @@ let recover_cmd =
              ~doc:"Skip the static invariant audit of the traced run.")
   in
   let run plan mode lambda txns sites items seed mix no_audit audit_path
-      shards =
+      shards commit =
+    check_commit_sites ~sites commit;
     let plan =
       (* fail-stop is the point of this command *)
       Ccdb_sim.Fault_plan.make ~seed:(Ccdb_sim.Fault_plan.seed plan)
         ~default_link:(Ccdb_sim.Fault_plan.default_link plan)
         ~links:(Ccdb_sim.Fault_plan.links plan)
-        ~crashes:(Ccdb_sim.Fault_plan.crashes plan) ~wipe:true ()
+        ~crashes:(Ccdb_sim.Fault_plan.crashes plan)
+        ~role_crashes:(Ccdb_sim.Fault_plan.role_crashes plan) ~wipe:true ()
     in
     let spec =
       { Ccdb_workload.Generator.default with
@@ -585,7 +638,8 @@ let recover_cmd =
     in
     let setup =
       { Ccdb_harness.Driver.default_setup with
-        sites; items; seed; shards; net = Ccdb_sim.Net.default_config ~sites }
+        sites; items; seed; shards; commit;
+        net = Ccdb_sim.Net.default_config ~sites }
     in
     let r =
       Ccdb_harness.Driver.run ~setup ~n_txns:txns ~audit:(not no_audit)
@@ -644,7 +698,7 @@ let recover_cmd =
           to commit or the audit finds an error.")
     Term.(
       const run $ plan $ mode $ lambda $ txns $ sites $ items $ seed $ mix
-      $ no_audit $ audit_path_term $ shards_term)
+      $ no_audit $ audit_path_term $ shards_term $ commit_term)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -5,6 +5,7 @@ let analyze ?store (events : Rt.event array) =
     Lock_audit.run events
     @ Precedence_audit.run events
     @ Theorem_audit.run ?store events
+    @ Consensus_audit.run events
   in
   Report.make ~events_scanned:(Array.length events) findings
 

@@ -1,0 +1,130 @@
+(* Consensus-commit auditor (Paxos Commit, DESIGN.md §15).
+
+   - consensus.split-decision: two sites log different terminal outcomes
+     for one (txn, round).  Under Paxos Commit a round number only
+     advances after its predecessor's abort was *learned*, so — unlike
+     2PC, where client-retry rounds race the decision and per-round
+     outcome splits are benign bookkeeping — a same-round split is a
+     genuine safety violation of the one-outcome-per-round guarantee.
+   - consensus.ballot-regression: an acceptor accepts a ballot below one
+     it promised (or below one it already accepted, which implies the
+     promise); breaks the phase-1/phase-2 ordering Paxos safety rests on.
+   - consensus.blocking-window: a participant is still prepared (in-doubt)
+     when the trace quiesces even though its site is up — the blocking
+     window non-blocking commit exists to close.  Sites still inside a
+     crash window at end of trace are excused.
+
+   All three checks are scoped to transactions with consensus activity
+   (at least one acceptor promise/accept event): a 2PC trace contains no
+   such events and yields no consensus findings. *)
+
+module Rt = Ccdb_protocols.Runtime
+
+type state = {
+  consensus_txns : (int, unit) Hashtbl.t;
+  (* (txn, round) -> (first commit site, first abort site) *)
+  outcomes : (int * int, int option * int option) Hashtbl.t;
+  split_reported : (int * int, unit) Hashtbl.t;
+  (* (site, txn, round) -> highest ballot promised (incl. accept-implied) *)
+  promised : (int * int * int, int) Hashtbl.t;
+  (* prepared, not yet decided: (txn, site) -> prepare event index *)
+  in_doubt : (int * int, int) Hashtbl.t;
+  crashed : (int, unit) Hashtbl.t;
+  mutable findings : Finding.t list; (* newest first, drained by [feed] *)
+  mutable idx : int;
+}
+
+let create () =
+  { consensus_txns = Hashtbl.create 16; outcomes = Hashtbl.create 64;
+    split_reported = Hashtbl.create 8; promised = Hashtbl.create 64;
+    in_doubt = Hashtbl.create 64; crashed = Hashtbl.create 8;
+    findings = []; idx = 0 }
+
+let add st f = st.findings <- f :: st.findings
+let is_consensus st txn = Hashtbl.mem st.consensus_txns txn
+
+let feed st event =
+  let i = st.idx in
+  st.idx <- st.idx + 1;
+  (match event with
+   | Rt.Site_crashed { site; _ } -> Hashtbl.replace st.crashed site ()
+   | Rt.Site_recovered { site; _ } -> Hashtbl.remove st.crashed site
+   | Rt.Prepared { txn; site; _ } -> Hashtbl.replace st.in_doubt (txn, site) i
+   | Rt.Decision_logged { txn; site; round; commit; _ } ->
+     Hashtbl.remove st.in_doubt (txn, site);
+     let c, a =
+       Option.value ~default:(None, None)
+         (Hashtbl.find_opt st.outcomes (txn, round))
+     in
+     let c = if commit && c = None then Some site else c
+     and a = if (not commit) && a = None then Some site else a in
+     Hashtbl.replace st.outcomes (txn, round) (c, a);
+     (match (c, a) with
+      | Some cs, Some as_ when is_consensus st txn
+                               && not (Hashtbl.mem st.split_reported (txn, round))
+        ->
+        Hashtbl.replace st.split_reported (txn, round) ();
+        add st
+          (Finding.make ~event_index:i ~txns:[ txn ]
+             ~check:"consensus.split-decision"
+             (Printf.sprintf
+                "round %d of t%d committed at site %d but aborted at site %d \
+                 (one outcome per round violated)"
+                round txn cs as_))
+      | _ -> ())
+   | Rt.Acceptor_promised { txn; site; round; ballot; _ } ->
+     Hashtbl.replace st.consensus_txns txn ();
+     let key = (site, txn, round) in
+     let prev = Option.value ~default:0 (Hashtbl.find_opt st.promised key) in
+     if ballot > prev then Hashtbl.replace st.promised key ballot
+   | Rt.Acceptor_accepted { txn; site; round; instance; ballot; _ } ->
+     Hashtbl.replace st.consensus_txns txn ();
+     let key = (site, txn, round) in
+     let prev = Option.value ~default:0 (Hashtbl.find_opt st.promised key) in
+     if ballot < prev then
+       add st
+         (Finding.make ~event_index:i ~txns:[ txn ]
+            ~check:"consensus.ballot-regression"
+            (Printf.sprintf
+               "acceptor site %d accepted ballot %d for t%d round %d \
+                instance %d below its promise %d"
+               site ballot txn round instance prev))
+     else Hashtbl.replace st.promised key ballot
+   | Rt.Lock_requested _ | Rt.Lock_granted _ | Rt.Lock_promoted _
+   | Rt.Lock_transformed _ | Rt.Lock_released _ | Rt.Request_withdrawn _
+   | Rt.Ts_updated _ | Rt.Deadlock_detected _ | Rt.Txn_committed _
+   | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Request_dropped _
+   | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Op_implemented _
+   | Rt.Reads_discarded _ -> ());
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
+let finish st =
+  let stuck =
+    Hashtbl.fold
+      (fun (txn, site) idx acc ->
+        if is_consensus st txn && not (Hashtbl.mem st.crashed site) then
+          (txn, site, idx) :: acc
+        else acc)
+      st.in_doubt []
+  in
+  List.iter
+    (fun (txn, site, _) ->
+      add st
+        (Finding.make ~txns:[ txn ] ~check:"consensus.blocking-window"
+           (Printf.sprintf
+              "t%d is still in-doubt at live site %d after quiescence \
+               (blocking window never closed)"
+              txn site)))
+    (List.sort compare stuck);
+  let out = List.rev st.findings in
+  st.findings <- [];
+  out
+
+let run (events : Rt.event array) =
+  let st = create () in
+  let per_event =
+    Array.fold_left (fun acc e -> List.rev_append (feed st e) acc) [] events
+  in
+  List.rev_append per_event (finish st)

@@ -224,6 +224,7 @@ let feed st event =
    | Rt.Txn_restarted _ | Rt.Pa_backoff _ | Rt.Site_crashed _
    | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _
    | Rt.Prepared _ | Rt.Decision_logged _
+   | Rt.Acceptor_promised _ | Rt.Acceptor_accepted _
    | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ());
   drain st
 

@@ -58,6 +58,7 @@ type state = {
   lock : Lock_audit.state;
   prec : Precedence_audit.state;
   thm : Theorem_audit.state;
+  cons : Consensus_audit.state;
   ser : ser option;
   mutable events_fed : int;
   mutable all : Finding.t list; (* newest first; everything [feed] returned *)
@@ -67,6 +68,7 @@ let create ?(theorem2 = true) ?catalog () =
   { lock = Lock_audit.create ();
     prec = Precedence_audit.create ();
     thm = Theorem_audit.create ();
+    cons = Consensus_audit.create ();
     ser =
       (if theorem2 then
          Some
@@ -184,6 +186,7 @@ let feed st event =
     Lock_audit.feed st.lock event
     @ Precedence_audit.feed st.prec event
     @ Theorem_audit.feed st.thm event
+    @ Consensus_audit.feed st.cons event
   in
   (match st.ser with Some s -> ser_feed s event | None -> ());
   st.all <- List.rev_append fs st.all;
@@ -194,7 +197,9 @@ let finish ?store st =
     Option.map (fun s () -> Inc.check_deferred s.graph) st.ser
   in
   let fs =
-    Lock_audit.finish st.lock @ Theorem_audit.finish ?store ?serializability st.thm
+    Lock_audit.finish st.lock
+    @ Theorem_audit.finish ?store ?serializability st.thm
+    @ Consensus_audit.finish st.cons
   in
   st.all <- List.rev_append fs st.all;
   fs

@@ -447,8 +447,8 @@ and restart t st ~except ~reason =
   ignore
     (Ccdb_sim.Engine.schedule (Rt.engine t.rt)
        ~after:
-         (Rt.restart_backoff t.rt ~base:t.config.restart_delay
-            ~attempt:st.restarts)
+         (Rt.restart_backoff t.rt ~site:txn.site
+            ~base:t.config.restart_delay ~attempt:st.restarts)
        (fun () -> begin_attempt t st))
 
 and begin_attempt t st =

@@ -16,6 +16,7 @@ type setup = {
   prevention : Ccdb_protocols.Two_pl_system.prevention;
   adaptive : adaptive;
   reselect : bool;
+  commit : Rt.commit_protocol;
 }
 
 let default_setup =
@@ -25,7 +26,7 @@ let default_setup =
     detection = Ccdb_protocols.Deadlock.default_detection;
     thomas_write_rule = false;
     prevention = Ccdb_protocols.Two_pl_system.No_prevention;
-    adaptive = Cumulative; reselect = false }
+    adaptive = Cumulative; reselect = false; commit = Rt.Two_pc }
 
 (* Suite-wide shard override ([0] = none): lets the bench harness and the
    CLI re-run a whole experiment suite sharded without threading a setup
@@ -220,9 +221,37 @@ let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
     Ccdb_storage.Catalog.create ~items:setup.items ~sites:setup.sites
       ~replication:setup.replication
   in
+  (* The workload RNG is independent of the runtime's, so arrivals can be
+     drawn first: role-targeted crash windows in the fault plan need the
+     workload to pin the coordinator role — the home site of the earliest
+     arrival — before the plan is installed.  Acceptor role [k] is site [k]
+     (the Paxos acceptor set is sites 0..2f). *)
+  let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
+  let arrivals = arrivals_of wl_rng in
+  let faults =
+    Option.map
+      (fun plan ->
+        if Ccdb_sim.Fault_plan.role_crashes plan = [] then plan
+        else
+          let coordinator =
+            match arrivals with
+            | [] -> 0
+            | (at0, (txn0 : Ccdb_model.Txn.t)) :: rest ->
+              let _, first =
+                List.fold_left
+                  (fun ((best_at, _) as best) (at, txn) ->
+                    if at < best_at then (at, txn) else best)
+                  (at0, txn0) rest
+              in
+              first.Ccdb_model.Txn.site
+          in
+          Ccdb_sim.Fault_plan.resolve plan ~coordinator ~acceptor:(fun k -> k))
+      faults
+  in
   let rt =
     Rt.create ~seed:setup.seed ~shards:(effective_shards setup) ?faults ?retry
-      ?replay_cost ~restart_cap:setup.restart_cap ~net_config:net ~catalog ()
+      ?replay_cost ~restart_cap:setup.restart_cap ~commit:setup.commit
+      ~net_config:net ~catalog ()
   in
   (match observer with Some f -> f rt | None -> ());
   (* MVTO keeps the physical store as a per-copy newest-version cache, not
@@ -243,8 +272,6 @@ let execute ~(setup : setup) ?observer ~audit ~audit_path ?faults ?retry
       Some st
   in
   let system = build_system ~setup ~spec mode rt in
-  let wl_rng = Ccdb_util.Rng.create ~seed:(setup.seed + 7919) in
-  let arrivals = arrivals_of wl_rng in
   List.iter
     (fun (at, (txn : Ccdb_model.Txn.t)) ->
       (* Arrivals land on the home site's shard, so a transaction's local

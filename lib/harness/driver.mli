@@ -43,13 +43,21 @@ type setup = {
       (** re-run the selector when a [Dynamic] transaction restarts
           ({!Core.Dynamic_cc.config.reselect_on_restart}, the paper's
           future-work item 4, measured by X6); inert in every other mode *)
+  commit : Ccdb_protocols.Runtime.commit_protocol;
+      (** atomic-commitment engine for durable runs: presumed-abort 2PC
+          (the default) or Paxos Commit over [2f+1] acceptors; inert
+          without a fail-stop fault plan.  With [Paxos], role-targeted
+          crash windows in the fault plan ([crash=coordinator@T+D],
+          [crash=acceptor:k@T+D]) are resolved against the workload — the
+          coordinator is the home site of the earliest arrival, acceptor
+          [k] is site [k] *)
 }
 
 val default_setup : setup
 (** 4 sites, 32 items, replication 2, default network, seed 42,
     [shards = 0] (inherit the suite default, else 1),
     restart_delay 50., restart_cap 800., centralized detection, Thomas
-    Write Rule off, cumulative adaptivity, reselection off. *)
+    Write Rule off, cumulative adaptivity, reselection off, 2PC commit. *)
 
 val set_default_shards : int -> unit
 (** Suite-wide shard default applied by every subsequent {!run} whose setup

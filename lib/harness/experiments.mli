@@ -75,6 +75,13 @@ val e15_shard_scaling : ?quick:bool -> unit -> outcome
     wall-clocks live in BENCH.json and the million-commit demonstration in
     EXPERIMENTS.md E15. *)
 
+val e16_nonblocking_commit : ?quick:bool -> unit -> outcome
+(** Presumed-abort 2PC vs Paxos Commit at acceptor-set sizes f = 0, 1, 2
+    under a message-loss plan and a role-targeted coordinator fail-stop:
+    committed counts, commit latency, rounds forced to abort and acceptor
+    takeovers, every row audited by the consensus.* checks (DESIGN.md
+    section 15). *)
+
 (** {2 Extension experiments}
 
     X-experiments go beyond the paper's explicit claims but stay inside its
@@ -118,7 +125,7 @@ type staged
 (** One experiment, decomposed but not yet run. *)
 
 val staged : ?quick:bool -> unit -> staged list
-(** Every experiment in order (E1-E14 then X1-X7), decomposed. *)
+(** Every experiment in order (E1-E16 then X1-X7), decomposed. *)
 
 val points_count : staged -> int
 (** Number of independent points the experiment fans out. *)
@@ -133,7 +140,7 @@ val run_one : staged -> outcome
 (** Runs the points serially, in order, and assembles. *)
 
 val all : ?quick:bool -> ?runner:((unit -> unit) list -> unit) -> unit -> outcome list
-(** Every experiment in order (E1-E14 then X1-X7).  [runner] receives the
+(** Every experiment in order (E1-E16 then X1-X7).  [runner] receives the
     flattened point tasks of all experiments and must run each exactly once
     (default: serially, in order); outcomes are assembled in experiment
     order afterwards regardless of how the runner scheduled the tasks. *)

@@ -119,6 +119,15 @@ let pp_event ppf (e : Rt.event) =
     Format.fprintf ppf "%8.1f  decide   t%d@@s%d round %d -> %s" at txn site
       round
       (if commit then "commit" else "abort")
+  | Rt.Acceptor_promised { txn; site; round; ballot; at } ->
+    Format.fprintf ppf "%8.1f  promise  t%d@@s%d round %d ballot %d" at txn
+      site round ballot
+  | Rt.Acceptor_accepted { txn; site; round; instance; ballot; prepared; at }
+    ->
+    Format.fprintf ppf
+      "%8.1f  accept   t%d@@s%d round %d instance %d ballot %d -> %s" at txn
+      site round instance ballot
+      (if prepared then "prepared" else "aborted")
   | Rt.Op_implemented { txn; op; item; site; at } ->
     Format.fprintf ppf "%8.1f  impl     t%d %a(item%d@@s%d)" at txn
       Ccdb_model.Op.pp op item site

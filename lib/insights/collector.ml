@@ -153,7 +153,8 @@ let on_event t = function
   | Rt.Lock_promoted _ | Rt.Lock_transformed _ | Rt.Lock_released _
   | Rt.Ts_updated _ | Rt.Pa_backoff _ | Rt.Site_crashed _
   | Rt.Site_recovered _ | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _
-  | Rt.Decision_logged _ | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ()
+  | Rt.Decision_logged _ | Rt.Acceptor_promised _ | Rt.Acceptor_accepted _
+  | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ()
 
 let attach ?(window = 200.) rt =
   if window <= 0. then invalid_arg "Collector.attach: window <= 0";

@@ -1,74 +1,65 @@
-(** Presumed-abort two-phase commit over the simulated network.
+(** Atomic-commitment dispatcher.
 
-    Used only on a {e durable} runtime (fault plan with [wipe=true]): the
-    lock-based systems (pure 2PL, pure PA, and the unified engine's
-    all-normal path) route the post-execution implementation of a
-    transaction through this module instead of sending bare release
-    messages, so that a site crash can never implement a transaction at one
-    copy and lose it at another (the analyzer's [thm.partial-commit]).
+    The durable systems (pure 2PL, pure PA, and the unified engine) route
+    a transaction's post-execution implementation through this module; the
+    runtime's {!Runtime.commit_protocol} selects which engine actually
+    runs the round:
 
-    The protocol is classic presumed abort (Mohan–Lindsay–Obermarck):
+    - {!Runtime.commit_protocol.Two_pc} — presumed-abort two-phase commit
+      ({!Two_pc}), the default.  Blocks (then presumes abort) if the
+      coordinator fail-stops inside the decision window.
+    - {!Runtime.commit_protocol.Paxos} — Paxos Commit ({!Consensus}): each
+      participant vote is a Paxos instance over [2f+1] replicated
+      acceptors, so the round decides as long as [f+1] acceptors are up —
+      a coordinator crash no longer blocks it.
 
-    - The {e client} — the terminal that issued the transaction, outside
-      the failure domain — hands {!commit} the per-site action lists and
-      retries with a fresh {e round} number if no decision is reached.
-    - The {e coordinator} (at the transaction's home site, volatile) sends
-      [2pc-prepare] to every participant site; a coordinator that remembers
-      nothing about a transaction answers inquiries with [2pc-abort].
-    - Each {e participant} force-logs the round's {!Ccdb_storage.Wal}
-      [Prewrite] records and a [Vote] before answering [2pc-vote], then
-      re-inquires on a timer until it learns the outcome
-      (coordinator-crash termination).
-    - When all votes are in, the coordinator force-logs [Coord_commit] —
-      the transaction's commit point — invokes the system's commit hook,
-      and distributes [2pc-commit]; participants force-log the [Decision],
-      apply their actions exactly once, and acknowledge, after which the
-      coordinator logs [Coord_end] and forgets.
+    Both engines share the client/round retry discipline, the participant
+    [Prewrite]/[Vote]/[Decision]/[Applied] WAL records, the exactly-once
+    application contract, and the invariant that an aborted round keeps
+    its locks (PA stays restart-free).  [config] and [hooks] are
+    {!Two_pc}'s records, re-exported. *)
 
-    An aborted round keeps the participants' locks: post-execution the
-    transaction never aborts, only the round's bookkeeping is retried, so
-    PA transactions stay restart-free (Corollary 1).  Crash wipes erase
-    coordinator and participant state; recovery rebuilds in-doubt
-    participants and unacknowledged commit decisions from the WAL
-    ({!Runtime.on_wal_replay}) and re-inquires immediately.  Duplicate
-    decision deliveries re-acknowledge without re-applying. *)
-
-type config = {
+type config = Two_pc.config = {
   inquiry_timeout : float;
-      (** how long a prepared participant waits before (re-)asking the
-          coordinator for the outcome *)
+      (** how long a prepared participant waits before (re-)asking for the
+          outcome — the 2PC coordinator, or the Paxos acceptor set *)
   client_retry : float;
-      (** how long the client waits for a decision before retrying the
-          whole protocol with a fresh round number *)
+      (** how long the client waits for a decision before re-driving the
+          protocol (2PC: a fresh round; Paxos: the same round, whose
+          number only advances after a learned abort) *)
 }
 
 val default_config : config
 (** inquiry 250, client retry 1200 simulated time units. *)
 
-type hooks = {
+type hooks = Two_pc.hooks = {
   apply : txn:int -> site:int -> Ccdb_storage.Wal.action list -> unit;
-      (** implement the committed actions at one participant site (release
-          locks, write the store, emit events); called exactly once per
-          (txn, site) *)
+      (** implement the committed actions at one participant site; called
+          exactly once per (txn, site) *)
   commit_point : txn:int -> unit;
-      (** the transaction reached its commit point (the coordinator's
-          [Coord_commit] record); called exactly once per txn — systems
-          emit {!Runtime.event.Txn_committed} and drop their state here *)
+      (** the transaction's global outcome is commit; called exactly once
+          per txn *)
 }
 
-type t
+type t = Two_pc of Two_pc.t | Paxos of Consensus.t
+(** The engine selected at {!create} time. *)
 
 val create : ?config:config -> Runtime.t -> hooks -> t
-(** Registers the wipe and WAL-replay handlers on the runtime.
-    @raise Invalid_argument if the runtime is not {!Runtime.durable} or a
-    timeout is not positive. *)
+(** Builds the engine named by [Runtime.commit_protocol rt] and registers
+    it with the runtime's wipe/replay hooks.
+    @raise Invalid_argument if the runtime is not durable, a timeout is
+    not positive, or (Paxos) the network has fewer than [2f+1] sites. *)
 
 val commit :
-  t -> txn:int -> home:int ->
-  participants:(int * Ccdb_storage.Wal.action list) list -> unit
-(** Starts round 0 for a fully executed transaction.  [participants] maps
-    each involved site to the actions to implement there.
+  t ->
+  txn:int ->
+  home:int ->
+  participants:(int * Ccdb_storage.Wal.action list) list ->
+  unit
+(** Start the commit protocol for [txn] across [participants] (site,
+    deferred actions) with the client terminal at [home].
     @raise Invalid_argument on a duplicate [txn]. *)
 
 val in_flight : t -> int
-(** Transactions handed to {!commit} whose outcome is not yet decided. *)
+(** Number of transactions handed to {!commit} whose outcome is not yet
+    commit — the runtime's quiescence check for the durable path. *)

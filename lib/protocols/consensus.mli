@@ -1,0 +1,66 @@
+(** Paxos Commit (Gray & Lamport): non-blocking atomic commitment.
+
+    A drop-in alternative to {!Two_pc} for durable runtimes: each
+    participant's prepared/abort vote is one single-decree Paxos instance
+    run over a shared set of [2f+1] acceptors (sites [0..2f]), so the
+    round reaches a decision as long as [f+1] acceptors are up — a
+    coordinator fail-stop inside the decision window no longer blocks or
+    presumed-aborts the round.
+
+    The home site leads ballot 0 and participants fast-path their yes
+    votes as ballot-0 phase-2a messages straight to the acceptors.  Every
+    acceptor arms a takeover clock at its first accept: if the outcome is
+    still unknown when it fires, the acceptor assumes leadership with a
+    higher ballot (ballots are disjoint by site), runs phase 1, proposes
+    the highest accepted value per instance — Aborted for instances no
+    quorum member has a value for — and completes the round.  The clock
+    re-arms with {!Runtime.restart_backoff}'s capped seeded per-site
+    backoff until a decision is known.
+
+    Acceptors force-log promises and accepts through
+    {!Ccdb_storage.Wal.record.Acceptor_promise} /
+    {!Ccdb_storage.Wal.record.Acceptor_accept}, so a fail-stop acceptor
+    recovers its promise obligations by replay.  Participants share 2PC's
+    [Prewrite]/[Vote]/[Decision]/[Applied] records and its exactly-once
+    application contract.  See DESIGN.md §15. *)
+
+type config = {
+  inquiry_timeout : float;
+      (** how long a prepared participant waits before (re)asking the
+          acceptor set for the outcome; also the base of the acceptor
+          takeover clock (armed at twice this) *)
+  client_retry : float;
+      (** how long the client terminal waits before re-driving the round
+          (resending prepares is idempotent; the round number advances
+          only after a learned abort) *)
+}
+
+val default_config : config
+(** [{ inquiry_timeout = 250.; client_retry = 1200. }] — the same values
+    as {!Two_pc.default_config}. *)
+
+type hooks = {
+  apply : txn:int -> site:int -> Ccdb_storage.Wal.action list -> unit;
+      (** apply a committed participant's deferred writes at one site;
+          called exactly once per (txn, site) *)
+  commit_point : txn:int -> unit;
+      (** the global outcome is commit; called exactly once per txn *)
+}
+
+type t
+
+val create : ?config:config -> f:int -> Runtime.t -> hooks -> t
+(** [create ~f rt hooks] registers the consensus committer with [rt]'s
+    wipe/replay hooks.  The acceptor set is sites [0..2f].
+    @raise Invalid_argument if the runtime is not durable, a timeout is
+    not positive, [f] is negative, or the network has fewer than [2f+1]
+    sites. *)
+
+val commit : t -> txn:int -> home:int -> participants:(int * Ccdb_storage.Wal.action list) list -> unit
+(** Start the commit protocol for [txn]: the home site leads ballot 0 of
+    round 0 across [participants] (instance [i] is the [i]-th list
+    element).
+    @raise Invalid_argument on a duplicate [txn]. *)
+
+val in_flight : t -> int
+(** Number of transactions whose global outcome is not yet commit. *)

@@ -205,8 +205,9 @@ and restart t st ~except ~reason =
   ignore
     (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
        ~after:
-         (Runtime.restart_backoff t.rt ~base:t.config.restart_delay
-            ~attempt:st.restarts) (fun () -> begin_attempt t st))
+         (Runtime.restart_backoff t.rt ~site:txn.site
+            ~base:t.config.restart_delay ~attempt:st.restarts) (fun () ->
+           begin_attempt t st))
 
 and begin_attempt t st =
   let txn = st.txn in

@@ -1,3 +1,9 @@
+(* Which atomic-commitment protocol the durable paths run (inert unless the
+   runtime is durable; see Commit). *)
+type commit_protocol =
+  | Two_pc
+  | Paxos of { f : int }
+
 type restart_reason =
   | To_rejected of Ccdb_model.Op.kind
   | Deadlock_victim
@@ -143,6 +149,25 @@ type event =
       commit : bool;
       at : float;
     }
+  | Acceptor_promised of {
+      (* Paxos Commit acceptor force-logged a phase-1 promise for the round *)
+      txn : int;
+      site : int;
+      round : int;
+      ballot : int;
+      at : float;
+    }
+  | Acceptor_accepted of {
+      (* Paxos Commit acceptor force-logged a phase-2 accept for one
+         instance (the participant site whose vote the instance decides) *)
+      txn : int;
+      site : int;
+      round : int;
+      instance : int;
+      ballot : int;
+      prepared : bool;
+      at : float;
+    }
   | Op_implemented of {
       (* a physical operation landed in a copy's implementation log; mirrors
          Store.on_append so streaming audits see the log grow in-line *)
@@ -203,7 +228,9 @@ type t = {
   mutable replay_handlers : (int -> unit) list;     (* newest first *)
   (* --- restart backoff (jittered only under an installed fault plan) ---- *)
   restart_cap : float;
-  restart_rng : Ccdb_util.Rng.t option;
+  restart_rngs : Ccdb_util.Rng.t array option; (* one stream per site *)
+  (* --- atomic commitment (durable paths only) --------------------------- *)
+  commit_protocol : commit_protocol;
 }
 
 let engine t = t.engine
@@ -216,6 +243,7 @@ let now t = Ccdb_sim.Engine.now t.engine
 
 let faults_enabled t = Option.is_some (Ccdb_sim.Net.fault_plan t.net)
 let durable t = t.durable
+let commit_protocol t = t.commit_protocol
 let wal t = t.wal
 let recovery_stats t = Option.map Ccdb_sim.Recovery.stats t.recovery
 
@@ -277,7 +305,8 @@ let emit t event =
    | Lock_promoted { txn; _ } | Lock_transformed { txn; _ }
    | Lock_released { txn; _ } | Request_withdrawn { txn; _ }
    | Ts_updated { txn; _ } | Prepared { txn; _ }
-   | Decision_logged { txn; _ } -> touch t txn
+   | Decision_logged { txn; _ } | Acceptor_promised { txn; _ }
+   | Acceptor_accepted { txn; _ } -> touch t txn
    | Site_wiped { dropped; _ } ->
      t.counters.wiped_entries <- t.counters.wiped_entries + dropped
    | Deadlock_detected _ | Site_crashed _ | Site_recovered _
@@ -336,19 +365,26 @@ let on_wal_replay t f = t.replay_handlers <- f :: t.replay_handlers
    [base] on a fault-free run (pinned by the byte-identity tests), capped
    exponential backoff with seeded jitter in [base/2, base) units of the
    doubled delay under faults, so crash-abort restart storms desynchronize
-   instead of hammering the recovering site in lockstep. *)
-let restart_backoff t ~base ~attempt =
-  match t.restart_rng with
+   instead of hammering the recovering site in lockstep.  Jitter comes from
+   a per-[site] stream (the caller passes the transaction's home site):
+   sites draw independently, so the sequence each site sees is a function
+   of its own restarts only, never of how restarts interleave across sites
+   — the property the shards-1-vs-4 identity test pins. *)
+let restart_backoff t ~site ~base ~attempt =
+  match t.restart_rngs with
   | None -> base
-  | Some rng ->
+  | Some rngs ->
+    if site < 0 || site >= Array.length rngs then
+      invalid_arg "Runtime.restart_backoff: site out of range";
     if base <= 0. then base
     else
       let doubled = base *. (2. ** float_of_int (min attempt 16)) in
       let capped = Float.min t.restart_cap doubled in
-      capped *. Ccdb_util.Rng.uniform_in rng ~lo:0.5 ~hi:1.0
+      capped *. Ccdb_util.Rng.uniform_in rngs.(site) ~lo:0.5 ~hi:1.0
 
 let create ?(seed = 42) ?(shards = 1) ?faults ?retry ?(stall_timeout = 1500.)
-    ?(restart_cap = 800.) ?replay_cost ~net_config ~catalog () =
+    ?(restart_cap = 800.) ?replay_cost ?(commit = Two_pc) ~net_config ~catalog
+    () =
   if net_config.Ccdb_sim.Net.sites <> Ccdb_storage.Catalog.sites catalog then
     invalid_arg "Runtime.create: catalog/network site count mismatch";
   if stall_timeout <= 0. then
@@ -356,6 +392,13 @@ let create ?(seed = 42) ?(shards = 1) ?faults ?retry ?(stall_timeout = 1500.)
   if restart_cap <= 0. then
     invalid_arg "Runtime.create: restart_cap must be positive";
   if shards < 1 then invalid_arg "Runtime.create: shards must be >= 1";
+  (match commit with
+   | Two_pc -> ()
+   | Paxos { f } ->
+     if f < 0 then invalid_arg "Runtime.create: negative Paxos f";
+     if (2 * f) + 1 > net_config.Ccdb_sim.Net.sites then
+       invalid_arg
+         "Runtime.create: Paxos needs 2f+1 acceptor sites (not enough sites)");
   (* Never more shards than sites; the engine's lookahead is the minimum
      cross-site latency (every cross-site send pays at least [base_delay]). *)
   let shards = min shards net_config.Ccdb_sim.Net.sites in
@@ -397,10 +440,16 @@ let create ?(seed = 42) ?(shards = 1) ?faults ?retry ?(stall_timeout = 1500.)
       wipe_handlers = [];
       replay_handlers = [];
       restart_cap;
-      restart_rng =
+      restart_rngs =
+        (* one independent jitter stream per site (home sites draw from
+           their own stream; see [restart_backoff]) *)
         (match faults with
-         | Some _ -> Some (Ccdb_util.Rng.split rng)
-         | None -> None) }
+         | Some _ ->
+           Some
+             (Array.init net_config.Ccdb_sim.Net.sites (fun _ ->
+                  Ccdb_util.Rng.split rng))
+         | None -> None);
+      commit_protocol = commit }
   in
   (* Mirror every implementation-log mutation as a runtime event, so the
      streaming analyzer can grow its conflict graph in-line instead of

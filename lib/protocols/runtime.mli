@@ -5,6 +5,16 @@
     T/O, pure PA, and the unified engine in [core]) run against this same
     substrate, so their timing and message counts are directly comparable. *)
 
+(** Which atomic-commitment protocol the durable paths run — selected at
+    {!create} and read back by the [Commit] dispatcher.  Inert unless the
+    runtime is {!durable}. *)
+type commit_protocol =
+  | Two_pc  (** presumed-abort two-phase commit (the historical default) *)
+  | Paxos of { f : int }
+      (** Paxos Commit (Gray–Lamport) over the [2f+1] acceptor sites
+          [0 .. 2f]: tolerates [f] simultaneous fail-stop acceptors with no
+          blocking window *)
+
 type restart_reason =
   | To_rejected of Ccdb_model.Op.kind
       (** a Basic T/O request arrived out of timestamp order *)
@@ -147,6 +157,27 @@ type event =
       commit : bool;
       at : float;
     }  (** 2PC participant learned and force-logged the round's outcome *)
+  | Acceptor_promised of {
+      txn : int;
+      site : int;
+      round : int;
+      ballot : int;
+      at : float;
+    }
+      (** Paxos Commit acceptor force-logged a phase-1 promise: it will
+          ignore ballots below [ballot] for every instance of this round *)
+  | Acceptor_accepted of {
+      txn : int;
+      site : int;
+      round : int;
+      instance : int; (** the participant site whose vote the instance decides *)
+      ballot : int;
+      prepared : bool;
+      at : float;
+    }
+      (** Paxos Commit acceptor force-logged a phase-2 accept for one
+          instance; the analyzer checks it never undercuts a promise
+          ([consensus.ballot-regression]) *)
   | Op_implemented of {
       txn : int;
       op : Ccdb_model.Op.kind;
@@ -201,6 +232,7 @@ val create :
   ?stall_timeout:float ->
   ?restart_cap:float ->
   ?replay_cost:float ->
+  ?commit:commit_protocol ->
   net_config:Ccdb_sim.Net.config ->
   catalog:Ccdb_storage.Catalog.t ->
   unit ->
@@ -226,8 +258,11 @@ val create :
     ({!Ccdb_sim.Recovery}, with per-record cost [replay_cost]) before the
     {!on_wal_replay} handlers rebuild 2PC state.  [restart_cap] (default
     800.) bounds the exponential restart backoff of {!restart_backoff}.
+    [commit] (default {!commit_protocol.Two_pc}) selects the atomic-
+    commitment protocol the durable paths build ({!commit_protocol}).
     @raise Invalid_argument if the catalog's site count differs from the
-    network's, if [stall_timeout <= 0.] or [restart_cap <= 0.], or if the
+    network's, if [stall_timeout <= 0.] or [restart_cap <= 0.], if a Paxos
+    [commit] has [f < 0] or needs more acceptor sites than exist, or if the
     plan is rejected by {!Ccdb_sim.Net.install_faults}. *)
 
 val engine : t -> Ccdb_sim.Engine.t
@@ -294,6 +329,10 @@ val on_site_recover : t -> (int -> unit) -> unit
 val durable : t -> bool
 (** Whether crashes are fail-stop (fault plan installed with [wipe=true]). *)
 
+val commit_protocol : t -> commit_protocol
+(** The atomic-commitment protocol selected at {!create} (meaningful only
+    when {!durable}; the [Commit] dispatcher reads it). *)
+
 val wal : t -> Ccdb_storage.Wal.t
 (** The per-site write-ahead log (always present; only written when
     {!durable}). *)
@@ -314,10 +353,15 @@ val on_wal_replay : t -> (int -> unit) -> unit
     the site's WAL (and emitted {!event.Wal_replayed}); the 2PC layer uses
     this to rebuild in-doubt participant state and pending decisions. *)
 
-val restart_backoff : t -> base:float -> attempt:int -> float
+val restart_backoff : t -> site:int -> base:float -> attempt:int -> float
 (** Resubmission delay for the [attempt]-th restart of a transaction
     (0-based counting as the systems do: the value of their restart counter
-    at scheduling time).  Exactly [base] on a fault-free runtime; under
-    faults, capped exponential backoff [min restart_cap (base * 2^attempt)]
-    scaled by a seeded jitter factor in [\[0.5, 1.0)] so synchronized
-    crash-abort restart storms spread out. *)
+    at scheduling time); [site] is the transaction's home site.  Exactly
+    [base] on a fault-free runtime; under faults, capped exponential
+    backoff [min restart_cap (base * 2^attempt)] scaled by a seeded jitter
+    factor in [\[0.5, 1.0)] so synchronized crash-abort restart storms
+    spread out.  The jitter is drawn from a per-[site] stream, so the draws
+    a site sees depend only on its own restart history — never on how
+    events interleave across sites or shards (the shard-count-identity
+    requirement, DESIGN.md §14).
+    @raise Invalid_argument on an out-of-range [site] under faults. *)

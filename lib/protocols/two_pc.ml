@@ -1,0 +1,350 @@
+type config = { inquiry_timeout : float; client_retry : float }
+
+let default_config = { inquiry_timeout = 250.; client_retry = 1200. }
+
+type hooks = {
+  apply : txn:int -> site:int -> Ccdb_storage.Wal.action list -> unit;
+  commit_point : txn:int -> unit;
+}
+
+(* The terminal that issued the transaction: outside the failure domain, so
+   this record survives every crash and drives retry rounds. *)
+type client = {
+  home : int;
+  participants : (int * Ccdb_storage.Wal.action list) list;
+  mutable round : int;
+  mutable decided : bool;
+}
+
+(* Coordinator collecting votes for one round (volatile, at [home]). *)
+type coord_entry = {
+  c_round : int;
+  c_participants : int list;
+  mutable c_votes : int list;
+}
+
+(* Coordinator that has logged Coord_commit and is collecting acks.  A pure
+   mirror of the WAL (rebuilt from [coord_pending] on replay), so a wipe
+   counts it as preserved. *)
+type commit_entry = {
+  k_round : int;
+  k_participants : int list;
+  mutable k_acked : int list;
+}
+
+(* Prepared participant awaiting the round's outcome.  Always voted (the
+   entry is created in the same atomic event as the Vote record), so a wipe
+   rebuilds it from the WAL's in-doubt list. *)
+type part_entry = {
+  p_round : int;
+  p_coordinator : int;
+  p_actions : Ccdb_storage.Wal.action list;
+  p_timer : int; (* invalidates stale recurring inquiry timers *)
+}
+
+type t = {
+  rt : Runtime.t;
+  config : config;
+  hooks : hooks;
+  clients : (int, client) Hashtbl.t;           (* txn -> terminal state *)
+  coords : (int, coord_entry) Hashtbl.t;       (* txn, at the home site *)
+  committed : (int, commit_entry) Hashtbl.t;   (* txn, at the home site *)
+  parts : (int * int, part_entry) Hashtbl.t;   (* (site, txn) *)
+  decided : (int * int, int) Hashtbl.t;        (* (site, txn) -> commit round *)
+  mutable timer_seq : int;
+}
+
+let now t = Runtime.now t.rt
+let wal t = Runtime.wal t.rt
+
+let send t ~src ~dst ~kind f =
+  Ccdb_sim.Net.send (Runtime.net t.rt) ~src ~dst ~kind f
+
+let home_of t txn = (Hashtbl.find t.clients txn).home
+
+let log_decision t ~txn ~round ~site ~commit =
+  let at = now t in
+  Ccdb_storage.Wal.append (wal t) ~site ~at
+    (Ccdb_storage.Wal.Decision { txn; round; commit });
+  Runtime.emit t.rt (Runtime.Decision_logged { txn; site; round; commit; at })
+
+(* --- message handlers --------------------------------------------------- *)
+
+let rec on_ack t ~txn ~round ~site =
+  match Hashtbl.find_opt t.committed txn with
+  | Some k when k.k_round = round ->
+    if not (List.mem site k.k_acked) then k.k_acked <- site :: k.k_acked;
+    if List.for_all (fun s -> List.mem s k.k_acked) k.k_participants then begin
+      Ccdb_storage.Wal.append (wal t) ~site:(home_of t txn) ~at:(now t)
+        (Ccdb_storage.Wal.Coord_end { txn; round });
+      Hashtbl.remove t.committed txn
+    end
+  | Some _ | None -> ()
+
+and ack t ~txn ~round ~site ~coordinator =
+  send t ~src:site ~dst:coordinator ~kind:"2pc-ack" (fun () ->
+      on_ack t ~txn ~round ~site)
+
+(* Participant learns the round's outcome.  Exactly-once application: a
+   decided participant only re-acknowledges; an unknown round is ignored
+   (its prepare was superseded or its state presumed-aborted).  An aborted
+   round keeps the locks — the transaction is past execution and will be
+   retried under a fresh round by the client. *)
+and on_decision t ~txn ~round ~site ~commit =
+  let key = (site, txn) in
+  if Hashtbl.mem t.decided key then begin
+    if commit then ack t ~txn ~round ~site ~coordinator:(home_of t txn)
+  end
+  else
+    match Hashtbl.find_opt t.parts key with
+    | Some e when e.p_round = round ->
+      if commit then begin
+        log_decision t ~txn ~round ~site ~commit:true;
+        t.hooks.apply ~txn ~site e.p_actions;
+        Ccdb_storage.Wal.append (wal t) ~site ~at:(now t)
+          (Ccdb_storage.Wal.Applied { txn; round });
+        Hashtbl.replace t.decided key round;
+        Hashtbl.remove t.parts key;
+        ack t ~txn ~round ~site ~coordinator:e.p_coordinator
+      end
+      else begin
+        log_decision t ~txn ~round ~site ~commit:false;
+        Hashtbl.remove t.parts key
+      end
+    | Some _ | None -> ()
+
+and resend_commit t txn (k : commit_entry) =
+  let home = home_of t txn in
+  List.iter
+    (fun site ->
+      send t ~src:home ~dst:site ~kind:"2pc-commit" (fun () ->
+          on_decision t ~txn ~round:k.k_round ~site ~commit:true))
+    k.k_participants
+
+and presume_abort t ~txn ~round ~site =
+  let home =
+    match Hashtbl.find_opt t.clients txn with Some c -> c.home | None -> site
+  in
+  send t ~src:home ~dst:site ~kind:"2pc-abort" (fun () ->
+      on_decision t ~txn ~round ~site ~commit:false)
+
+and on_vote t ~txn ~round ~site =
+  match Hashtbl.find_opt t.coords txn with
+  | Some e when e.c_round = round ->
+    if not (List.mem site e.c_votes) then e.c_votes <- site :: e.c_votes;
+    if List.for_all (fun s -> List.mem s e.c_votes) e.c_participants then begin
+      (* commit point: force the coordinator record, then tell the world *)
+      let home = home_of t txn in
+      Ccdb_storage.Wal.append (wal t) ~site:home ~at:(now t)
+        (Ccdb_storage.Wal.Coord_commit
+           { txn; round; participants = e.c_participants });
+      Hashtbl.replace t.committed txn
+        { k_round = round; k_participants = e.c_participants; k_acked = [] };
+      Hashtbl.remove t.coords txn;
+      (match Hashtbl.find_opt t.clients txn with
+       | Some c when not c.decided ->
+         c.decided <- true;
+         t.hooks.commit_point ~txn
+       | Some _ | None -> ());
+      List.iter
+        (fun s ->
+          send t ~src:home ~dst:s ~kind:"2pc-commit" (fun () ->
+              on_decision t ~txn ~round ~site:s ~commit:true))
+        e.c_participants
+    end
+  | Some _ | None -> (
+    (* no live round matches the vote *)
+    match Hashtbl.find_opt t.committed txn with
+    | Some k -> resend_commit t txn k
+    | None -> presume_abort t ~txn ~round ~site)
+
+and on_inquire t ~txn ~round ~site =
+  match Hashtbl.find_opt t.committed txn with
+  | Some k -> resend_commit t txn k
+  | None -> (
+    match Hashtbl.find_opt t.coords txn with
+    | Some e when e.c_round = round -> () (* still collecting votes *)
+    | Some _ | None ->
+      (* presumed abort: the coordinator remembers nothing about this
+         round, so it cannot have committed it *)
+      presume_abort t ~txn ~round ~site)
+
+and on_prepare t ~txn ~round ~coordinator ~site actions =
+  let key = (site, txn) in
+  if Hashtbl.mem t.decided key then
+    ack t ~txn ~round ~site ~coordinator
+  else
+    match Hashtbl.find_opt t.parts key with
+    | Some e when e.p_round >= round ->
+      (* duplicate prepare: re-vote for the round we hold *)
+      send t ~src:site ~dst:coordinator ~kind:"2pc-vote" (fun () ->
+          on_vote t ~txn ~round:e.p_round ~site)
+    | prev ->
+      (* a newer round supersedes the previous one: that round is dead
+         (the decision keeps the WAL replayable; locks are untouched) *)
+      (match prev with
+       | Some e -> log_decision t ~txn ~round:e.p_round ~site ~commit:false
+       | None -> ());
+      let at = now t in
+      List.iter
+        (fun action ->
+          Ccdb_storage.Wal.append (wal t) ~site ~at
+            (Ccdb_storage.Wal.Prewrite { txn; round; action }))
+        actions;
+      Ccdb_storage.Wal.append (wal t) ~site ~at
+        (Ccdb_storage.Wal.Vote { txn; round; coordinator });
+      t.timer_seq <- t.timer_seq + 1;
+      let timer = t.timer_seq in
+      Hashtbl.replace t.parts key
+        { p_round = round; p_coordinator = coordinator; p_actions = actions;
+          p_timer = timer };
+      Runtime.emit t.rt (Runtime.Prepared { txn; site; round; at });
+      send t ~src:site ~dst:coordinator ~kind:"2pc-vote" (fun () ->
+          on_vote t ~txn ~round ~site);
+      arm_inquiry t ~site ~txn ~timer
+
+(* Coordinator-crash termination: a prepared participant periodically asks
+   for the outcome until it learns one.  The timer re-arms only while its
+   entry is still the live one, so quiescence is reached once every
+   transaction decides. *)
+and arm_inquiry t ~site ~txn ~timer =
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
+       ~after:t.config.inquiry_timeout (fun () ->
+         match Hashtbl.find_opt t.parts (site, txn) with
+         | Some e when e.p_timer = timer ->
+           send t ~src:site ~dst:e.p_coordinator ~kind:"2pc-inquire"
+             (fun () -> on_inquire t ~txn ~round:e.p_round ~site);
+           arm_inquiry t ~site ~txn ~timer
+         | Some _ | None -> ()))
+
+and on_begin t ~txn ~round =
+  match Hashtbl.find_opt t.clients txn with
+  | None -> ()
+  | Some c -> (
+    match Hashtbl.find_opt t.committed txn with
+    | Some k -> resend_commit t txn k (* already decided: re-drive acks *)
+    | None -> (
+      match Hashtbl.find_opt t.coords txn with
+      | Some e when e.c_round >= round -> () (* stale or duplicate begin *)
+      | Some _ | None ->
+        let sites = List.map fst c.participants in
+        Hashtbl.replace t.coords txn
+          { c_round = round; c_participants = sites; c_votes = [] };
+        List.iter
+          (fun (site, actions) ->
+            send t ~src:c.home ~dst:site ~kind:"2pc-prepare" (fun () ->
+                on_prepare t ~txn ~round ~coordinator:c.home ~site actions))
+          c.participants))
+
+(* --- client ------------------------------------------------------------ *)
+
+let begin_round t txn =
+  match Hashtbl.find_opt t.clients txn with
+  | Some c when not c.decided ->
+    let round = c.round in
+    send t ~src:c.home ~dst:c.home ~kind:"2pc-begin" (fun () ->
+        on_begin t ~txn ~round)
+  | Some _ | None -> ()
+
+let rec arm_client_retry t txn =
+  ignore
+    (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
+       ~after:t.config.client_retry (fun () ->
+         match Hashtbl.find_opt t.clients txn with
+         | Some c when not c.decided ->
+           c.round <- c.round + 1;
+           begin_round t txn;
+           arm_client_retry t txn
+         | Some _ | None -> ()))
+
+let commit t ~txn ~home ~participants =
+  if Hashtbl.mem t.clients txn then
+    invalid_arg "Two_pc.commit: duplicate transaction";
+  Hashtbl.add t.clients txn { home; participants; round = 0; decided = false };
+  begin_round t txn;
+  arm_client_retry t txn
+
+let in_flight t =
+  Hashtbl.fold
+    (fun _ (c : client) n -> if c.decided then n else n + 1)
+    t.clients 0
+
+(* --- crash / recovery --------------------------------------------------- *)
+
+(* Fail-stop wipe of one site's 2PC state.  Collecting coordinators are
+   genuinely lost (their rounds will be presumed aborted); everything else
+   is a WAL mirror and counts as preserved. *)
+let wipe t site =
+  let dropped = ref 0 and preserved = ref 0 in
+  let gather tbl pred =
+    Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) tbl []
+  in
+  let at_home txn = home_of t txn = site in
+  List.iter
+    (fun txn ->
+      Hashtbl.remove t.coords txn;
+      incr dropped)
+    (gather t.coords at_home);
+  List.iter
+    (fun txn ->
+      Hashtbl.remove t.committed txn;
+      incr preserved)
+    (gather t.committed at_home);
+  let here (s, _) = s = site in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.parts key;
+      incr preserved)
+    (gather t.parts here);
+  List.iter (fun key -> Hashtbl.remove t.decided key) (gather t.decided here);
+  (!dropped, !preserved)
+
+(* Recovery: rebuild the WAL mirrors and immediately re-drive anything
+   unfinished — in-doubt participants inquire, unacknowledged commit
+   decisions are resent (duplicates re-acknowledge harmlessly). *)
+let replay t site =
+  let r = Ccdb_storage.Wal.replay (wal t) ~site in
+  List.iter
+    (fun (txn, round, commit) ->
+      if commit then Hashtbl.replace t.decided (site, txn) round)
+    r.Ccdb_storage.Wal.decided;
+  List.iter
+    (fun (txn, round, coordinator, actions) ->
+      t.timer_seq <- t.timer_seq + 1;
+      let timer = t.timer_seq in
+      Hashtbl.replace t.parts (site, txn)
+        { p_round = round; p_coordinator = coordinator; p_actions = actions;
+          p_timer = timer };
+      send t ~src:site ~dst:coordinator ~kind:"2pc-inquire" (fun () ->
+          on_inquire t ~txn ~round ~site);
+      arm_inquiry t ~site ~txn ~timer)
+    r.Ccdb_storage.Wal.in_doubt;
+  List.iter
+    (fun (txn, round, participants) ->
+      Hashtbl.replace t.committed txn
+        { k_round = round; k_participants = participants; k_acked = [] };
+      List.iter
+        (fun s ->
+          send t ~src:site ~dst:s ~kind:"2pc-commit" (fun () ->
+              on_decision t ~txn ~round ~site:s ~commit:true))
+        participants)
+    r.Ccdb_storage.Wal.coord_pending
+
+let create ?(config = default_config) rt hooks =
+  if not (Runtime.durable rt) then
+    invalid_arg "Two_pc.create: runtime is not durable";
+  if config.inquiry_timeout <= 0. || config.client_retry <= 0. then
+    invalid_arg "Two_pc.create: timeouts must be positive";
+  let t =
+    { rt; config; hooks;
+      clients = Hashtbl.create 64;
+      coords = Hashtbl.create 64;
+      committed = Hashtbl.create 64;
+      parts = Hashtbl.create 64;
+      decided = Hashtbl.create 64;
+      timer_seq = 0 }
+  in
+  Runtime.on_site_wipe rt (fun site -> wipe t site);
+  Runtime.on_wal_replay rt (fun site -> replay t site);
+  t

@@ -1,0 +1,74 @@
+(** Presumed-abort two-phase commit over the simulated network.
+
+    Used only on a {e durable} runtime (fault plan with [wipe=true]): the
+    lock-based systems (pure 2PL, pure PA, and the unified engine's
+    all-normal path) route the post-execution implementation of a
+    transaction through this module instead of sending bare release
+    messages, so that a site crash can never implement a transaction at one
+    copy and lose it at another (the analyzer's [thm.partial-commit]).
+
+    The protocol is classic presumed abort (Mohan–Lindsay–Obermarck):
+
+    - The {e client} — the terminal that issued the transaction, outside
+      the failure domain — hands {!commit} the per-site action lists and
+      retries with a fresh {e round} number if no decision is reached.
+    - The {e coordinator} (at the transaction's home site, volatile) sends
+      [2pc-prepare] to every participant site; a coordinator that remembers
+      nothing about a transaction answers inquiries with [2pc-abort].
+    - Each {e participant} force-logs the round's {!Ccdb_storage.Wal}
+      [Prewrite] records and a [Vote] before answering [2pc-vote], then
+      re-inquires on a timer until it learns the outcome
+      (coordinator-crash termination).
+    - When all votes are in, the coordinator force-logs [Coord_commit] —
+      the transaction's commit point — invokes the system's commit hook,
+      and distributes [2pc-commit]; participants force-log the [Decision],
+      apply their actions exactly once, and acknowledge, after which the
+      coordinator logs [Coord_end] and forgets.
+
+    An aborted round keeps the participants' locks: post-execution the
+    transaction never aborts, only the round's bookkeeping is retried, so
+    PA transactions stay restart-free (Corollary 1).  Crash wipes erase
+    coordinator and participant state; recovery rebuilds in-doubt
+    participants and unacknowledged commit decisions from the WAL
+    ({!Runtime.on_wal_replay}) and re-inquires immediately.  Duplicate
+    decision deliveries re-acknowledge without re-applying. *)
+
+type config = {
+  inquiry_timeout : float;
+      (** how long a prepared participant waits before (re-)asking the
+          coordinator for the outcome *)
+  client_retry : float;
+      (** how long the client waits for a decision before retrying the
+          whole protocol with a fresh round number *)
+}
+
+val default_config : config
+(** inquiry 250, client retry 1200 simulated time units. *)
+
+type hooks = {
+  apply : txn:int -> site:int -> Ccdb_storage.Wal.action list -> unit;
+      (** implement the committed actions at one participant site (release
+          locks, write the store, emit events); called exactly once per
+          (txn, site) *)
+  commit_point : txn:int -> unit;
+      (** the transaction reached its commit point (the coordinator's
+          [Coord_commit] record); called exactly once per txn — systems
+          emit {!Runtime.event.Txn_committed} and drop their state here *)
+}
+
+type t
+
+val create : ?config:config -> Runtime.t -> hooks -> t
+(** Registers the wipe and WAL-replay handlers on the runtime.
+    @raise Invalid_argument if the runtime is not {!Runtime.durable} or a
+    timeout is not positive. *)
+
+val commit :
+  t -> txn:int -> home:int ->
+  participants:(int * Ccdb_storage.Wal.action list) list -> unit
+(** Starts round 0 for a fully executed transaction.  [participants] maps
+    each involved site to the actions to implement there.
+    @raise Invalid_argument on a duplicate [txn]. *)
+
+val in_flight : t -> int
+(** Transactions handed to {!commit} whose outcome is not yet decided. *)

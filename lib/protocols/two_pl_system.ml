@@ -343,8 +343,9 @@ and abort_victim ?(reason = Runtime.Deadlock_victim) t victim =
       ignore
         (Ccdb_sim.Engine.schedule (Runtime.engine t.rt)
            ~after:
-             (Runtime.restart_backoff t.rt ~base:t.config.restart_delay
-                ~attempt:st.restarts) (fun () -> send_requests t st))
+             (Runtime.restart_backoff t.rt ~site:txn.site
+                ~base:t.config.restart_delay ~attempt:st.restarts) (fun () ->
+               send_requests t st))
     end
 
 (* Crash cleanup: abort every transaction still in its read (Waiting) phase

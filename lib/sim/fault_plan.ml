@@ -7,11 +7,16 @@ type link = {
 
 type crash = { site : int; at : float; recover_at : float }
 
+type role = Coordinator | Acceptor of int
+
+type role_crash = { role : role; r_at : float; r_recover_at : float }
+
 type t = {
   seed : int;
   default_link : link;
   links : ((int * int) * link) list; (* sorted by (src, dst) *)
   crashes : crash list;              (* sorted by crash time *)
+  role_crashes : role_crash list;    (* sorted by crash time; unresolved *)
   wipe : bool;                       (* fail-stop: crashes erase volatile state *)
 }
 
@@ -60,8 +65,42 @@ let check_crashes crashes =
       go sorted)
     by_site
 
+let role_compare a b =
+  match (a, b) with
+  | Coordinator, Coordinator -> 0
+  | Coordinator, Acceptor _ -> -1
+  | Acceptor _, Coordinator -> 1
+  | Acceptor i, Acceptor j -> Int.compare i j
+
+let check_role_crashes role_crashes =
+  List.iter
+    (fun rc ->
+      (match rc.role with
+      | Coordinator -> ()
+      | Acceptor k ->
+        if k < 0 then invalid_arg "Fault_plan: negative acceptor index");
+      if rc.r_at < 0. then invalid_arg "Fault_plan: crash before time 0";
+      if rc.r_recover_at <= rc.r_at then
+        invalid_arg "Fault_plan: empty or inverted crash window")
+    role_crashes;
+  (* per-role windows must not overlap, same rule as per-site windows *)
+  let rec pairs = function
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if role_compare a.role b.role = 0
+             && a.r_at < b.r_recover_at && b.r_at < a.r_recover_at
+          then
+            invalid_arg
+              "Fault_plan: overlapping crash windows for one role")
+        rest;
+      pairs rest
+    | [] -> ()
+  in
+  pairs role_crashes
+
 let make ?(seed = 0) ?(default_link = reliable_link) ?(links = [])
-    ?(crashes = []) ?(wipe = false) () =
+    ?(crashes = []) ?(role_crashes = []) ?(wipe = false) () =
   check_link default_link;
   List.iter (fun (_, l) -> check_link l) links;
   let links = List.sort (fun (a, _) (b, _) -> compare a b) links in
@@ -80,8 +119,17 @@ let make ?(seed = 0) ?(default_link = reliable_link) ?(links = [])
       if src < 0 || dst < 0 then invalid_arg "Fault_plan: negative link site")
     links;
   check_crashes crashes;
+  check_role_crashes role_crashes;
   let crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) crashes in
-  { seed; default_link; links; crashes; wipe }
+  let role_crashes =
+    List.sort
+      (fun a b ->
+        match Float.compare a.r_at b.r_at with
+        | 0 -> role_compare a.role b.role
+        | c -> c)
+      role_crashes
+  in
+  { seed; default_link; links; crashes; role_crashes; wipe }
 
 let none = make ()
 
@@ -89,7 +137,29 @@ let seed t = t.seed
 let default_link t = t.default_link
 let links t = t.links
 let crashes t = t.crashes
+let role_crashes t = t.role_crashes
 let wipe t = t.wipe
+
+(* Pin each role crash to a concrete site and fold it into the ordinary
+   crash schedule; [make] re-validates, so a role window that lands on a
+   site with an overlapping concrete window is rejected with its message. *)
+let resolve t ~coordinator ~acceptor =
+  match t.role_crashes with
+  | [] -> t
+  | rcs ->
+    let extra =
+      List.map
+        (fun rc ->
+          let site =
+            match rc.role with
+            | Coordinator -> coordinator
+            | Acceptor k -> acceptor k
+          in
+          { site; at = rc.r_at; recover_at = rc.r_recover_at })
+        rcs
+    in
+    make ~seed:t.seed ~default_link:t.default_link ~links:t.links
+      ~crashes:(t.crashes @ extra) ~wipe:t.wipe ()
 
 let link_for t ~src ~dst =
   match List.assoc_opt (src, dst) t.links with
@@ -141,6 +211,16 @@ let to_string t =
           Printf.sprintf "crash=%d@%s+%s" c.site (float_str c.at)
             (float_str (c.recover_at -. c.at)))
         t.crashes
+    @ List.map
+        (fun rc ->
+          let who =
+            match rc.role with
+            | Coordinator -> "coordinator"
+            | Acceptor k -> Printf.sprintf "acceptor:%d" k
+          in
+          Printf.sprintf "crash=%s@%s+%s" who (float_str rc.r_at)
+            (float_str (rc.r_recover_at -. rc.r_at)))
+        t.role_crashes
     @ (if t.wipe then [ "wipe=true" ] else [])
     @ (if t.seed <> 0 then [ Printf.sprintf "seed=%d" t.seed ] else [])
   in
@@ -181,28 +261,54 @@ let apply_link_field l field =
         (parse_delay v)
     | _ -> Error (Printf.sprintf "unknown link field %S" key))
 
+(* the crash target: a concrete site, or a role resolved by the harness *)
+type parsed_crash = Site_crash of crash | Role_crash of role_crash
+
+let parse_crash_who s =
+  match int_of_string_opt s with
+  | Some site -> Ok (`Site site)
+  | None ->
+    if s = "coordinator" then Ok (`Role Coordinator)
+    else (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "acceptor" ->
+        let k = String.sub s (i + 1) (String.length s - i - 1) in
+        (match int_of_string_opt k with
+        | Some k -> Ok (`Role (Acceptor k))
+        | None -> Error (Printf.sprintf "bad acceptor index %S" k))
+      | _ ->
+        Error
+          (Printf.sprintf
+             "bad crash target %S (expected a site number, \
+              \"coordinator\", or \"acceptor:K\")"
+             s))
+
 let parse_crash s =
-  (* S@T+D *)
+  (* WHO@T+D where WHO is a site number, "coordinator", or "acceptor:K" *)
   match String.index_opt s '@' with
-  | None -> Error (Printf.sprintf "bad crash spec %S (expected SITE@AT+DUR)" s)
+  | None -> Error (Printf.sprintf "bad crash spec %S (expected WHO@AT+DUR)" s)
   | Some i -> (
-    let site = String.sub s 0 i in
+    let who = String.sub s 0 i in
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
     match String.index_opt rest '+' with
     | None ->
-      Error (Printf.sprintf "bad crash spec %S (expected SITE@AT+DUR)" s)
+      Error (Printf.sprintf "bad crash spec %S (expected WHO@AT+DUR)" s)
     | Some j -> (
       let at = String.sub rest 0 j in
       let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
-      match int_of_string_opt site with
-      | None -> Error (Printf.sprintf "bad crash site %S" site)
-      | Some site -> (
+      match parse_crash_who who with
+      | Error _ as e -> e
+      | Ok who -> (
         match parse_float "crash time" at with
         | Error _ as e -> e
         | Ok at -> (
           match parse_float "crash duration" dur with
           | Error _ as e -> e
-          | Ok dur -> Ok { site; at; recover_at = at +. dur }))))
+          | Ok dur -> (
+            match who with
+            | `Site site -> Ok (Site_crash { site; at; recover_at = at +. dur })
+            | `Role role ->
+              Ok (Role_crash { role; r_at = at; r_recover_at = at +. dur }))))))
 
 let parse_link_token s =
   (* SRC>DST[/field=value]... *)
@@ -261,11 +367,14 @@ let of_string s =
     | Ok _ as ok -> ok
     | Error msg -> fail tok pos msg
   in
-  let rec go acc_link links crashes seed wipe = function
+  let rec go acc_link links crashes roles seed wipe = function
     | [] -> (
-      try Ok (make ~seed ~default_link:acc_link ~links ~crashes ~wipe ())
+      try
+        Ok
+          (make ~seed ~default_link:acc_link ~links ~crashes
+             ~role_crashes:roles ~wipe ())
       with Invalid_argument msg -> Error msg)
-    | ("none", _) :: rest -> go acc_link links crashes seed wipe rest
+    | ("none", _) :: rest -> go acc_link links crashes roles seed wipe rest
     | (tok, pos) :: rest -> (
       match String.index_opt tok '=' with
       | None -> fail tok pos "expected key=value"
@@ -276,24 +385,27 @@ let of_string s =
         | "drop" | "dup" | "delay" -> (
           match located tok pos (apply_link_field acc_link tok) with
           | Error _ as e -> e
-          | Ok l -> go l links crashes seed wipe rest)
+          | Ok l -> go l links crashes roles seed wipe rest)
         | "crash" -> (
           match located tok pos (parse_crash v) with
           | Error _ as e -> e
-          | Ok c -> go acc_link links (c :: crashes) seed wipe rest)
+          | Ok (Site_crash c) ->
+            go acc_link links (c :: crashes) roles seed wipe rest
+          | Ok (Role_crash rc) ->
+            go acc_link links crashes (rc :: roles) seed wipe rest)
         | "link" -> (
           match located tok pos (parse_link_token v) with
           | Error _ as e -> e
-          | Ok l -> go acc_link (l :: links) crashes seed wipe rest)
+          | Ok l -> go acc_link (l :: links) crashes roles seed wipe rest)
         | "seed" -> (
           match int_of_string_opt v with
-          | Some seed -> go acc_link links crashes seed wipe rest
+          | Some seed -> go acc_link links crashes roles seed wipe rest
           | None -> fail tok pos (Printf.sprintf "bad seed %S" v))
         | "wipe" -> (
           match bool_of_string_opt v with
-          | Some wipe -> go acc_link links crashes seed wipe rest
+          | Some wipe -> go acc_link links crashes roles seed wipe rest
           | None ->
             fail tok pos (Printf.sprintf "bad wipe %S (expected true/false)" v))
         | _ -> fail tok pos (Printf.sprintf "unknown key %S" key)))
   in
-  go reliable_link [] [] 0 false (tokenize s)
+  go reliable_link [] [] [] 0 false (tokenize s)

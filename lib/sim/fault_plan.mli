@@ -28,6 +28,11 @@
     - [dup=F] — default duplication probability
     - [delay=PxM] — with probability [P], add [exponential(M)] extra delay
     - [crash=S@T+D] — site [S] crashes at time [T], recovers at [T + D]
+    - [crash=coordinator@T+D] — role-targeted: the commit coordinator's
+      home site crashes at [T].  Roles are symbolic until the harness pins
+      them to concrete sites with {!resolve}.
+    - [crash=acceptor:K@T+D] — role-targeted: the [K]-th Paxos acceptor
+      crashes at [T]
     - [link=SRC>DST/…] — override [drop]/[dup]/[delay] for one directed link
     - [wipe=B] — [true] for fail-stop crashes, [false] (default) fail-pause
     - [seed=N] — seed of the plan's private fault RNG *)
@@ -49,6 +54,22 @@ type crash = {
 (** One outage: the site is unreachable in [\[at, recover_at)].  Whether its
     volatile state also dies is the plan-wide {!wipe} flag. *)
 
+type role =
+  | Coordinator      (** the commit coordinator's home site *)
+  | Acceptor of int  (** the [k]-th member of the Paxos acceptor set *)
+(** A symbolic crash target.  Which concrete site plays a role depends on
+    the workload (the coordinator is the home site of the first arriving
+    transaction) and the commit protocol (acceptor [k] is the [k]-th site
+    of the acceptor set), so plans carry roles unresolved and the harness
+    pins them with {!resolve} once the workload is known. *)
+
+type role_crash = {
+  role : role;           (** who crashes *)
+  r_at : float;          (** crash instant, [>= 0] *)
+  r_recover_at : float;  (** recovery instant, [> r_at] *)
+}
+(** One role-targeted outage, resolved to a {!crash} by {!resolve}. *)
+
 type t
 (** An immutable fault plan. *)
 
@@ -65,16 +86,18 @@ val make :
   ?default_link:link ->
   ?links:((int * int) * link) list ->
   ?crashes:crash list ->
+  ?role_crashes:role_crash list ->
   ?wipe:bool ->
   unit ->
   t
 (** [make ()] builds a validated plan.  [links] lists per-[(src, dst)]
     overrides of [default_link] (default: no overrides).  [seed] defaults
-    to 0, [default_link] to {!reliable_link}, [crashes] to [[]], [wipe] to
-    [false] (fail-pause).
+    to 0, [default_link] to {!reliable_link}, [crashes] and [role_crashes]
+    to [[]], [wipe] to [false] (fail-pause).
     @raise Invalid_argument if a probability is outside [0, 1], a delay
     mean is negative, a crash window is empty or starts before time 0,
-    two crash windows of the same site overlap, or a link appears twice. *)
+    two crash windows of the same site (or same role) overlap, an acceptor
+    index is negative, or a link appears twice. *)
 
 val seed : t -> int
 (** The plan's fault-RNG seed. *)
@@ -87,6 +110,20 @@ val links : t -> ((int * int) * link) list
 
 val crashes : t -> crash list
 (** The crash schedule, sorted by crash time. *)
+
+val role_crashes : t -> role_crash list
+(** The unresolved role-targeted crash schedule, sorted by crash time.
+    {!Net.install_faults} rejects plans whose role crashes have not been
+    folded into concrete site crashes with {!resolve}. *)
+
+val resolve : t -> coordinator:int -> acceptor:(int -> int) -> t
+(** [resolve t ~coordinator ~acceptor] pins every role crash to a concrete
+    site — [Coordinator] to [coordinator], [Acceptor k] to [acceptor k] —
+    and folds them into the ordinary crash schedule, leaving
+    [role_crashes] empty.  A plan with no role crashes is returned
+    unchanged.
+    @raise Invalid_argument if a resolved window overlaps an existing
+    window of the same site (the {!make} validation re-runs). *)
 
 val wipe : t -> bool
 (** Whether crashes are fail-stop: at each crash instant the site's volatile

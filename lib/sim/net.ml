@@ -315,6 +315,10 @@ let install_faults t ?(retry = default_retry) plan =
     invalid_arg "Net.install_faults: traffic has already been sent";
   if Fault_plan.max_site plan >= t.config.sites then
     invalid_arg "Net.install_faults: plan names an out-of-range site";
+  if Fault_plan.role_crashes plan <> [] then
+    invalid_arg
+      "Net.install_faults: plan has unresolved role-targeted crashes (use \
+       Fault_plan.resolve first)";
   if retry.rto <= 0. || retry.rto_backoff < 1. || retry.rto_cap < retry.rto
      || retry.max_retries < 0
   then invalid_arg "Net.install_faults: bad retry configuration";

@@ -304,7 +304,8 @@ let on_event t = function
   | Rt.Request_withdrawn _ | Rt.Ts_updated _ | Rt.Deadlock_detected _
   | Rt.Site_crashed _ | Rt.Site_recovered _ | Rt.Request_dropped _
   | Rt.Site_wiped _ | Rt.Wal_replayed _ | Rt.Prepared _
-  | Rt.Decision_logged _ | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ()
+  | Rt.Decision_logged _ | Rt.Acceptor_promised _ | Rt.Acceptor_accepted _
+  | Rt.Op_implemented _ | Rt.Reads_discarded _ -> ()
 
 let create ?(priors = default_priors) ?(source = Cumulative) rt =
   let win =

@@ -17,6 +17,16 @@ type record =
   | Applied of { txn : int; round : int }
   | Coord_commit of { txn : int; round : int; participants : int list }
   | Coord_end of { txn : int; round : int }
+  | Acceptor_promise of { txn : int; round : int; ballot : int }
+  | Acceptor_accept of {
+      txn : int;
+      round : int;
+      instance : int;
+      ballot : int;
+      prepared : bool;
+      home : int;
+      psites : int list;
+    }
 
 type entry = { at : float; record : record }
 
@@ -59,6 +69,9 @@ type replay = {
   decided : (int * int * bool) list;
   applied : int list;
   coord_pending : (int * int * int list) list;
+  promised : ((int * int) * int) list;
+  accepted : ((int * int * int) * (int * bool)) list;
+  acc_meta : ((int * int) * (int * int list)) list;
 }
 
 let replay t ~site =
@@ -75,6 +88,14 @@ let replay t ~site =
   let vote_order = ref [] in
   let coord : (int * int, int list) Hashtbl.t = Hashtbl.create 16 in
   let coord_order = ref [] in
+  (* Paxos acceptor state: highest promise per (txn, round), highest-ballot
+     accept per (txn, round, instance) *)
+  let promises : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let promise_order = ref [] in
+  let accepts : (int * int * int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+  let accept_order = ref [] in
+  let metas : (int * int, int * int list) Hashtbl.t = Hashtbl.create 16 in
+  let meta_order = ref [] in
   List.iter
     (fun { record; _ } ->
       match record with
@@ -99,7 +120,26 @@ let replay t ~site =
           let key = (txn, round) in
           if not (Hashtbl.mem coord key) then coord_order := key :: !coord_order;
           Hashtbl.replace coord key participants
-      | Coord_end { txn; round } -> Hashtbl.remove coord (txn, round))
+      | Coord_end { txn; round } -> Hashtbl.remove coord (txn, round)
+      | Acceptor_promise { txn; round; ballot } ->
+          let key = (txn, round) in
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt promises key) in
+          if not (Hashtbl.mem promises key) then
+            promise_order := key :: !promise_order;
+          Hashtbl.replace promises key (max prev ballot)
+      | Acceptor_accept { txn; round; instance; ballot; prepared; home; psites }
+        ->
+          let key = (txn, round, instance) in
+          if not (Hashtbl.mem metas (txn, round)) then begin
+            meta_order := (txn, round) :: !meta_order;
+            Hashtbl.replace metas (txn, round) (home, psites)
+          end;
+          (match Hashtbl.find_opt accepts key with
+          | Some (b, _) when b > ballot -> ()
+          | Some _ -> Hashtbl.replace accepts key (ballot, prepared)
+          | None ->
+              accept_order := key :: !accept_order;
+              Hashtbl.replace accepts key (ballot, prepared)))
     log;
   let applied_set = !applied in
   let in_doubt =
@@ -130,6 +170,15 @@ let replay t ~site =
     decided = List.rev !decided;
     applied = List.rev !applied;
     coord_pending;
+    promised =
+      List.rev !promise_order
+      |> List.map (fun key -> (key, Hashtbl.find promises key));
+    accepted =
+      List.rev !accept_order
+      |> List.map (fun key -> (key, Hashtbl.find accepts key));
+    acc_meta =
+      List.rev !meta_order
+      |> List.map (fun key -> (key, Hashtbl.find metas key));
   }
 
 let pp_kind ppf k =
@@ -159,3 +208,11 @@ let pp_record ppf = function
       Format.fprintf ppf "coord-commit t%d/%d [%s]" txn round
         (String.concat "," (List.map string_of_int participants))
   | Coord_end { txn; round } -> Format.fprintf ppf "coord-end t%d/%d" txn round
+  | Acceptor_promise { txn; round; ballot } ->
+      Format.fprintf ppf "acc-promise t%d/%d b%d" txn round ballot
+  | Acceptor_accept { txn; round; instance; ballot; prepared; home; psites } ->
+      Format.fprintf ppf "acc-accept t%d/%d i%d b%d %s home=%d [%s]" txn round
+        instance ballot
+        (if prepared then "prepared" else "aborted")
+        home
+        (String.concat "," (List.map string_of_int psites))

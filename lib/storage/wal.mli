@@ -51,6 +51,27 @@ type record =
           transaction; a coordinator with no record presumes abort. *)
   | Coord_end of { txn : int; round : int }
       (** every participant acknowledged; the coordinator forgets the txn *)
+  | Acceptor_promise of { txn : int; round : int; ballot : int }
+      (** Paxos Commit acceptor promised to ignore ballots below [ballot]
+          for every instance of this commit round — forced before the
+          phase-1b reply leaves the site, so a fail-stop acceptor recovers
+          the promise via {!replay} and can never regress *)
+  | Acceptor_accept of {
+      txn : int;
+      round : int;
+      instance : int;  (** the participant site whose vote this instance decides *)
+      ballot : int;
+      prepared : bool; (** the accepted value: prepared (yes) or aborted *)
+      home : int;      (** the round's home terminal site *)
+      psites : int list; (** the participant set, in instance order *)
+    }
+      (** Paxos Commit acceptor accepted a value for one instance — forced
+          before the phase-2b reply, so a recovering acceptor reports it to
+          later leaders (the Paxos safety invariant survives the crash).
+          [home]/[psites] make the record self-contained: a replayed
+          acceptor can finish the round by takeover even when nobody else
+          remembers it (the client may already have learned the outcome
+          and gone quiet) *)
 
 type entry = { at : float; record : record }
 
@@ -89,6 +110,18 @@ type replay = {
   coord_pending : (int * int * int list) list;
       (** [(txn, round, participants)]: commit records without a matching
           {!record.Coord_end} — decisions that must be re-sent *)
+  promised : ((int * int) * int) list;
+      (** [((txn, round), ballot)]: the highest ballot this site promised
+          for each commit round it acted as a Paxos acceptor for, in first-
+          promise order — recovery restores these before rejoining *)
+  accepted : ((int * int * int) * (int * bool)) list;
+      (** [((txn, round, instance), (ballot, prepared))]: the highest-ballot
+          value this acceptor accepted per instance, in first-accept order —
+          reported to later leaders during their phase 1 *)
+  acc_meta : ((int * int) * (int * int list)) list;
+      (** [((txn, round), (home, psites))] from each round's first accept
+          record: the home terminal and instance-ordered participant set,
+          restoring a replayed acceptor's ability to lead a takeover *)
 }
 
 val replay : t -> site:int -> replay

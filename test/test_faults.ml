@@ -84,7 +84,47 @@ let test_plan_error_positions () =
   (* the position points at the token's first non-blank character *)
   check Alcotest.string "position skips leading blanks"
     "fault plan: expected key=value in token \"what\" at position 11"
-    (err "drop=0.1,  what")
+    (err "drop=0.1,  what");
+  (* role-targeted crash tokens: a bad role names the token and position
+     like every other grammar error *)
+  check Alcotest.string "bad acceptor index"
+    "fault plan: bad acceptor index \"x\" in token \
+     \"crash=acceptor:x@400+300\" at position 9"
+    (err "drop=0.1,crash=acceptor:x@400+300");
+  check Alcotest.string "bad crash target"
+    "fault plan: bad crash target \"king\" (expected a site number, \
+     \"coordinator\", or \"acceptor:K\") in token \"crash=king@400+300\" \
+     at position 0"
+    (err "crash=king@400+300")
+
+(* --- role-targeted crash windows --------------------------------------- *)
+
+let test_plan_role_crashes () =
+  let p =
+    plan_of_string
+      "crash=coordinator@400+300,crash=acceptor:2@900+100,wipe=true,seed=7"
+  in
+  check Alcotest.int "two role crashes" 2 (List.length (FP.role_crashes p));
+  check Alcotest.bool "no concrete crashes yet" true (FP.crashes p = []);
+  (* role windows print and parse back *)
+  let p' = plan_of_string (FP.to_string p) in
+  check Alcotest.string "role round-trip" (FP.to_string p) (FP.to_string p');
+  (* resolution pins each role to a site and folds it into the ordinary
+     schedule: the coordinator is whatever the harness says, acceptor k is
+     looked up through the callback *)
+  let r = FP.resolve p ~coordinator:3 ~acceptor:(fun k -> k) in
+  check Alcotest.bool "resolved plan has no role crashes" true
+    (FP.role_crashes r = []);
+  check Alcotest.bool "coordinator window landed on site 3" true
+    (FP.is_crashed r ~site:3 ~at:500.);
+  check Alcotest.bool "acceptor:2 window landed on site 2" true
+    (FP.is_crashed r ~site:2 ~at:950.);
+  check Alcotest.bool "recovered after the window" false
+    (FP.is_crashed r ~site:3 ~at:701.);
+  (* overlapping windows for the same role are rejected like per-site ones *)
+  match FP.of_string "crash=coordinator@100+300,crash=coordinator@200+50" with
+  | Ok _ -> Alcotest.fail "accepted overlapping coordinator windows"
+  | Error _ -> ()
 
 (* Randomized round-trip pin: [of_string (to_string p)] reproduces [p]
    exactly, component by component.  Generated floats are multiples of
@@ -126,11 +166,28 @@ let plan_gen =
             Option.map (fun l -> ((2, 0), l)) b ])
       (pair (opt link_gen) (opt link_gen))
   in
+  (* at most one window per role, so same-role windows can never overlap *)
+  let role_crash_gen role =
+    map
+      (fun (a, d) ->
+        let r_at = float_of_int a /. 2. in
+        { FP.role; r_at; r_recover_at = r_at +. (float_of_int (d + 1) /. 2.) })
+      (pair (int_range 0 2000) (int_range 0 600))
+  in
+  let role_crashes_gen =
+    map
+      (fun (c, a) -> List.filter_map Fun.id [ c; a ])
+      (pair
+         (opt (role_crash_gen FP.Coordinator))
+         (opt (map (fun (k, rc) -> { rc with FP.role = FP.Acceptor k })
+                 (pair (int_range 0 4) (role_crash_gen FP.Coordinator)))))
+  in
   map
-    (fun ((default_link, links), (crashes, (seed, wipe))) ->
-      FP.make ~seed ~default_link ~links ~crashes ~wipe ())
+    (fun ((default_link, links), ((crashes, role_crashes), (seed, wipe))) ->
+      FP.make ~seed ~default_link ~links ~crashes ~role_crashes ~wipe ())
     (pair (pair link_gen links_gen)
-       (pair crashes_gen (pair (int_range 0 9999) bool)))
+       (pair (pair crashes_gen role_crashes_gen)
+          (pair (int_range 0 9999) bool)))
 
 let plan_equal a b =
   FP.seed a = FP.seed b
@@ -138,6 +195,7 @@ let plan_equal a b =
   && FP.default_link a = FP.default_link b
   && FP.links a = FP.links b
   && FP.crashes a = FP.crashes b
+  && FP.role_crashes a = FP.role_crashes b
 
 let test_plan_roundtrip_random =
   QCheck_alcotest.to_alcotest
@@ -325,6 +383,8 @@ let suites =
         Alcotest.test_case "rejects" `Quick test_plan_rejects;
         Alcotest.test_case "whitespace tolerant" `Quick test_plan_whitespace;
         Alcotest.test_case "error positions" `Quick test_plan_error_positions;
+        Alcotest.test_case "role-targeted crashes" `Quick
+          test_plan_role_crashes;
         test_plan_roundtrip_random ] );
     ( "faults.transport",
       [ Alcotest.test_case "in-order exactly-once" `Quick

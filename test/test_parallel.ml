@@ -76,7 +76,7 @@ let test_experiments_jobs_identical () =
 
 let test_staged_counts () =
   let staged = Ccdb_harness.Experiments.staged ~quick:true () in
-  check Alcotest.int "22 experiments" 22 (List.length staged);
+  check Alcotest.int "23 experiments" 23 (List.length staged);
   List.iter
     (fun s ->
       check Alcotest.bool "every experiment has points" true
@@ -558,7 +558,7 @@ let test_bench_json_shape () =
   | Error e -> Alcotest.failf "BENCH.json does not parse: %s" e
   | Ok doc ->
     let str key = Option.bind (Json.member key doc) Json.to_str in
-    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/4")
+    check (Alcotest.option Alcotest.string) "schema" (Some "ccdb-bench/5")
       (str "schema");
     let cores = Option.bind (Json.member "cores" doc) Json.to_float in
     check Alcotest.bool "cores >= 1" true
@@ -606,7 +606,13 @@ let test_bench_json_shape () =
        check Alcotest.bool "analysis.stream-feed present" true
          (has "analysis.stream-feed");
        check Alcotest.bool "engine.sharded-sim present" true
-         (has "engine.sharded-sim"));
+         (has "engine.sharded-sim");
+       (* the ccdb-bench/5 commit-protocol pair: both atomic-commitment
+          engines measured on the same durable workload *)
+       check Alcotest.bool "commit.2pc-round present" true
+         (has "commit.2pc-round");
+       check Alcotest.bool "commit.paxos-round present" true
+         (has "commit.paxos-round"));
     (match Json.member "experiments" doc with
      | None -> Alcotest.fail "experiments missing"
      | Some exp ->

@@ -144,13 +144,50 @@ let test_duplicate_decision_delivery () =
         (stats.Net.duplicated > 0))
     all_modes
 
+(* --- duplicated / reordered Paxos messages ------------------------------- *)
+
+(* The same drill with Paxos Commit as the engine: heavy duplication plus
+   crashes hits every consensus message — 1a/1b/2a/2b, learned decisions,
+   and re-inquiries from recovering participants.  A participant receiving
+   a stale px-decision for a round it already applied must re-acknowledge
+   without re-applying (applies stay idempotent, the partial-commit and
+   durability invariants stay clean), and no consensus.* check may fire:
+   no split decision, no ballot regression, no blocked round. *)
+let test_duplicate_paxos_delivery () =
+  let setup = { D.default_setup with commit = Rt.Paxos { f = 1 } } in
+  List.iter
+    (fun mode ->
+      let name = "paxos " ^ D.mode_name mode in
+      let r =
+        D.run ~setup ~n_txns:150 ~audit:true ~faults:dup_plan mode spec
+      in
+      check Alcotest.int (name ^ " all txns commit") 150 r.summary.committed;
+      assert_durably_clean name (Option.get r.audit);
+      let report = Option.get r.audit in
+      List.iter
+        (fun c ->
+          check Alcotest.int
+            (Printf.sprintf "%s no %s findings" name c)
+            0
+            (List.length
+               (List.filter
+                  (fun (f : Ccdb_analysis.Finding.t) -> f.check = c)
+                  (Ccdb_analysis.Report.findings report))))
+        [ "consensus.split-decision"; "consensus.ballot-regression";
+          "consensus.blocking-window" ];
+      let stats = Option.get r.summary.transport in
+      check Alcotest.bool (name ^ " duplicates actually happened") true
+        (stats.Net.duplicated > 0))
+    [ D.Pure Ccdb_model.Protocol.Two_pl; D.Unified; D.Dynamic ]
+
 (* --- the durable machinery is inert without wipe=true -------------------- *)
 
 let new_event_seen events =
   Array.exists
     (function
       | Rt.Request_dropped _ | Rt.Site_wiped _ | Rt.Wal_replayed _
-      | Rt.Prepared _ | Rt.Decision_logged _ -> true
+      | Rt.Prepared _ | Rt.Decision_logged _ | Rt.Acceptor_promised _
+      | Rt.Acceptor_accepted _ -> true
       | _ -> false)
     events
 
@@ -171,6 +208,7 @@ let test_durability_inert_without_wipe () =
     (r.summary.recovery = None);
   check Alcotest.bool "fault-free: no durability events" false
     (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)));
+  let fault_free_summary = r.summary in
   (* fail-pause faults (wipe=false): still no durability machinery *)
   let plan = plan_of_string "drop=0.1,crash=1@400+300,seed=11" in
   let trace = ref None in
@@ -185,7 +223,26 @@ let test_durability_inert_without_wipe () =
   check Alcotest.bool "fail-pause: no recovery counters" true
     (r.summary.recovery = None);
   check Alcotest.bool "fail-pause: no durability events" false
-    (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)))
+    (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)));
+  (* selecting Paxos Commit is equally inert without wipe=true: no WAL, no
+     acceptor promises/accepts, byte-identical to the 2PC fault-free run *)
+  let setup =
+    { D.default_setup with commit = Rt.Paxos { f = 1 } }
+  in
+  let trace = ref None in
+  let r_px =
+    D.run ~setup ~n_txns:80
+      ~observer:(fun rt -> trace := Some (Ccdb_harness.Trace.attach rt))
+      D.Unified spec
+  in
+  check Alcotest.bool "paxos fault-free: not durable" false
+    (Rt.durable r_px.runtime);
+  check Alcotest.int "paxos fault-free: WAL empty" 0
+    (Ccdb_storage.Wal.appends (Rt.wal r_px.runtime));
+  check Alcotest.bool "paxos fault-free: no consensus events" false
+    (new_event_seen (Ccdb_harness.Trace.to_array (Option.get !trace)));
+  check Alcotest.bool "paxos fault-free: summary identical to 2PC" true
+    (r_px.summary = fault_free_summary)
 
 (* --- restart backoff ----------------------------------------------------- *)
 
@@ -197,25 +254,50 @@ let test_restart_backoff () =
   in
   List.iter
     (fun attempt ->
-      check (Alcotest.float 0.) "fault-free backoff is the base" 50.
-        (Rt.restart_backoff rt ~base:50. ~attempt))
+      List.iter
+        (fun site ->
+          check (Alcotest.float 0.) "fault-free backoff is the base" 50.
+            (Rt.restart_backoff rt ~site ~base:50. ~attempt))
+        [ 0; 1 ])
     [ 0; 1; 5; 40 ];
-  (* faulted runtime: jittered doubling under the cap *)
+  (* faulted runtime: jittered doubling under the cap, per site *)
   let rt =
     Rt.create ~faults:(plan_of_string "drop=0.1,seed=3") ~restart_cap:800.
       ~net_config:(Net.default_config ~sites:2) ~catalog ()
   in
   for attempt = 0 to 20 do
-    let d = Rt.restart_backoff rt ~base:50. ~attempt in
-    let uncapped = Float.min 800. (50. *. (2. ** float_of_int (min attempt 16))) in
-    check Alcotest.bool "within jitter band" true
-      (d >= uncapped *. 0.5 -. 1e-9 && d < uncapped)
+    List.iter
+      (fun site ->
+        let d = Rt.restart_backoff rt ~site ~base:50. ~attempt in
+        let uncapped =
+          Float.min 800. (50. *. (2. ** float_of_int (min attempt 16)))
+        in
+        check Alcotest.bool "within jitter band" true
+          (d >= uncapped *. 0.5 -. 1e-9 && d < uncapped))
+      [ 0; 1 ]
   done;
   (* the cap really caps: large attempts never exceed it *)
   for _ = 0 to 50 do
     check Alcotest.bool "capped" true
-      (Rt.restart_backoff rt ~base:50. ~attempt:30 <= 800.)
-  done
+      (Rt.restart_backoff rt ~site:0 ~base:50. ~attempt:30 <= 800.)
+  done;
+  (* per-site streams are independent: site 0's draws are reproduced
+     exactly by a fresh runtime no matter how many draws site 1 makes in
+     between (a shared stream would shift them) *)
+  let draws rt site =
+    List.init 8 (fun attempt -> Rt.restart_backoff rt ~site ~base:50. ~attempt)
+  in
+  let fresh () =
+    Rt.create ~faults:(plan_of_string "drop=0.1,seed=3") ~restart_cap:800.
+      ~net_config:(Net.default_config ~sites:2) ~catalog ()
+  in
+  let rt_a = fresh () in
+  let site0_alone = draws rt_a 0 in
+  let rt_b = fresh () in
+  ignore (draws rt_b 1);
+  let site0_interleaved = draws rt_b 0 in
+  check Alcotest.bool "per-site RNG streams" true
+    (site0_alone = site0_interleaved)
 
 (* --- E12 ----------------------------------------------------------------- *)
 
@@ -225,6 +307,21 @@ let test_e12_runs () =
   check Alcotest.bool "rendered" true
     (String.length (Ccdb_harness.Experiments.render o) > 0)
 
+let test_e16_runs () =
+  let o = Ccdb_harness.Experiments.e16_nonblocking_commit ~quick:true () in
+  check Alcotest.string "id" "E16" o.Ccdb_harness.Experiments.id;
+  let rendered = Ccdb_harness.Experiments.render o in
+  check Alcotest.bool "rendered" true (String.length rendered > 0);
+  (* the headline must be measured, not the fallback wording: the chaos
+     drill really did land the coordinator crash inside a commit round *)
+  check Alcotest.bool "crash landed in a round" false
+    (let fallback = "the window missed the commit point" in
+     let n = String.length rendered and m = String.length fallback in
+     let rec contains i =
+       i + m <= n && (String.sub rendered i m = fallback || contains (i + 1))
+     in
+     contains 0)
+
 let suites =
   [ ( "recovery.systems",
       [ Alcotest.test_case "fail-stop acceptance, all systems" `Slow
@@ -232,9 +329,12 @@ let suites =
         Alcotest.test_case "crash during recovery, all systems" `Slow
           test_crash_during_recovery;
         Alcotest.test_case "duplicated decisions, all systems" `Slow
-          test_duplicate_decision_delivery ] );
+          test_duplicate_decision_delivery;
+        Alcotest.test_case "duplicated paxos messages" `Slow
+          test_duplicate_paxos_delivery ] );
     ( "recovery.gating",
       [ Alcotest.test_case "inert without wipe" `Quick
           test_durability_inert_without_wipe;
         Alcotest.test_case "restart backoff" `Quick test_restart_backoff;
-        Alcotest.test_case "E12 quick" `Slow test_e12_runs ] ) ]
+        Alcotest.test_case "E12 quick" `Slow test_e12_runs;
+        Alcotest.test_case "E16 quick" `Slow test_e16_runs ] ) ]

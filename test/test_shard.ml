@@ -175,8 +175,9 @@ let all_modes =
 (* Everything observable about a run, rendered to comparable values: the
    full metrics summary, protocol decisions, the complete event trace, and
    the audit report. *)
-let observe ?faults ?n_txns ~shards mode =
-  let setup = { D.default_setup with shards } in
+let observe ?(commit = Ccdb_protocols.Runtime.Two_pc) ?faults ?n_txns ~shards
+    mode =
+  let setup = { D.default_setup with shards; commit } in
   let trace = ref None in
   let r =
     D.run ~setup ?n_txns ?faults ~audit:true ~audit_path:D.Differential
@@ -189,12 +190,12 @@ let observe ?faults ?n_txns ~shards mode =
     Ccdb_harness.Trace.render (Option.get !trace),
     audit )
 
-let assert_identical ?faults ?n_txns mode =
+let assert_identical ?commit ?faults ?n_txns mode =
   let name = D.mode_name mode in
-  let s1, d1, t1, a1 = observe ?faults ?n_txns ~shards:1 mode in
+  let s1, d1, t1, a1 = observe ?commit ?faults ?n_txns ~shards:1 mode in
   List.iter
     (fun shards ->
-      let s, d, t, a = observe ?faults ?n_txns ~shards mode in
+      let s, d, t, a = observe ?commit ?faults ?n_txns ~shards mode in
       check Alcotest.bool
         (Printf.sprintf "%s summary identical at %d shards" name shards)
         true (s = s1);
@@ -229,6 +230,18 @@ let test_fail_stop_durable_identical () =
   List.iter
     (fun mode -> assert_identical ~faults:durable_plan ~n_txns:60 mode)
     [ D.Pure Ccdb_model.Protocol.Two_pl; D.Unified; D.Dynamic ]
+
+let test_paxos_identical () =
+  (* Paxos Commit fans every vote out to 2f+1 acceptor instances with
+     takeover timers and per-site backoff streams; the cross-shard merge
+     must keep all of it byte-identical, and fault-free the consensus
+     machinery must stay inert so the no-fault guarantee is unchanged *)
+  let paxos = Ccdb_protocols.Runtime.Paxos { f = 1 } in
+  List.iter
+    (fun mode ->
+      assert_identical ~commit:paxos ~faults:durable_plan ~n_txns:60 mode)
+    [ D.Unified; D.Dynamic ];
+  assert_identical ~commit:paxos ~n_txns:40 D.Unified
 
 (* --- synchronization counters ------------------------------------------- *)
 
@@ -275,7 +288,8 @@ let suites =
         Alcotest.test_case "all 11 modes, faulted" `Slow
           test_all_modes_identical_faulted;
         Alcotest.test_case "fail-stop durable" `Slow
-          test_fail_stop_durable_identical ] );
+          test_fail_stop_durable_identical;
+        Alcotest.test_case "paxos commit" `Slow test_paxos_identical ] );
     ( "shard.sync",
       [ Alcotest.test_case "counters" `Quick test_sync_stats;
         Alcotest.test_case "suite-wide override" `Quick
